@@ -1,0 +1,15 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's figures or tables through the
+evaluation harness and checks the qualitative shape of the result (who wins,
+in what order) while pytest-benchmark reports how long the reproduction
+takes.  Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report_scale() -> float:
+    """Input-size scale used by the CPU-relative figures in the benches."""
+    return 0.25

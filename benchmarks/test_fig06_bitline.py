@@ -1,0 +1,11 @@
+"""Benchmark: reproduce Figure 6 (bitline reliability Monte-Carlo study)."""
+
+from repro.evaluation.figures import figure06_bitline_reliability
+
+
+def test_fig06_bitline_reliability(benchmark):
+    result = benchmark(figure06_bitline_reliability, 100)
+    assert len(result.rows) == 4
+    assert all(row["all_settled"] for row in result.rows)
+    # Final-voltage disturbance stays below 1 % of VDD (paper: ~0.9 %).
+    assert all(row["max_disturbance_fraction"] <= 0.01 for row in result.rows)

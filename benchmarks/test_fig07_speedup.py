@@ -1,0 +1,18 @@
+"""Benchmark: reproduce Figure 7 (speedup over the CPU baseline)."""
+
+from repro.evaluation.figures import figure07_speedup_over_cpu
+
+
+def test_fig07_speedup_over_cpu(benchmark, report_scale):
+    result = benchmark(figure07_speedup_over_cpu, report_scale)
+    gmean = result.rows[-1]
+    assert gmean["workload"] == "GMEAN"
+    # Ordering: GMC > BSA > GSA, all well above the CPU; GPU comparable to
+    # BSA; PnM clearly behind pLUTo (paper: pLUTo-BSA ~18x PnM).
+    assert gmean["pLUTo-GMC"] > gmean["pLUTo-BSA"] > gmean["pLUTo-GSA"] > 10
+    assert gmean["pLUTo-BSA"] > 50
+    assert 0.3 * gmean["GPU"] < gmean["pLUTo-BSA"] < 10 * gmean["GPU"]
+    assert gmean["pLUTo-BSA"] > 5 * gmean["PnM"]
+    # 3D-stacked variants outperform their DDR4 counterparts (~38 % in the paper).
+    for design in ("pLUTo-GSA", "pLUTo-BSA", "pLUTo-GMC"):
+        assert gmean[f"{design}-3DS"] > gmean[design]

@@ -1,0 +1,14 @@
+"""Benchmark: reproduce Figure 8 (speedup per unit area over the CPU)."""
+
+from repro.evaluation.figures import figure08_speedup_per_area
+
+
+def test_fig08_speedup_per_area(benchmark, report_scale):
+    result = benchmark(figure08_speedup_per_area, report_scale)
+    gmean = result.rows[-1]
+    # Every pLUTo design beats both the CPU and the GPU per unit area, and
+    # the 3DS variants are the most area-efficient (Section 8.2.1).
+    for design in ("pLUTo-GSA", "pLUTo-BSA", "pLUTo-GMC"):
+        assert gmean[design] > 1
+        assert gmean[design] > gmean["GPU"]
+        assert gmean[f"{design}-3DS"] > gmean[design]

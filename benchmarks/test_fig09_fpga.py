@@ -1,0 +1,15 @@
+"""Benchmark: reproduce Figure 9 (speedup over the FPGA baseline)."""
+
+from repro.evaluation.figures import figure09_speedup_over_fpga
+
+
+def test_fig09_speedup_over_fpga(benchmark):
+    result = benchmark(figure09_speedup_over_fpga, 0.5)
+    by_name = {row["workload"]: row for row in result.rows}
+    # pLUTo outperforms the FPGA on every workload; the largest gains come
+    # from small-LUT workloads and the smallest from wide-operand ones.
+    for row in result.rows:
+        assert row["pLUTo-BSA"] > 1
+    assert by_name["BC4"]["pLUTo-BSA"] > by_name["MUL16"]["pLUTo-BSA"]
+    assert by_name["ADD4"]["pLUTo-BSA"] > by_name["ADD8"]["pLUTo-BSA"]
+    assert by_name["GMEAN"]["pLUTo-BSA"] > 10

@@ -1,0 +1,13 @@
+"""Benchmark: reproduce Figure 10 (CPU-normalised energy)."""
+
+from repro.evaluation.figures import figure10_energy_over_cpu
+
+
+def test_fig10_energy_over_cpu(benchmark, report_scale):
+    result = benchmark(figure10_energy_over_cpu, report_scale)
+    gmean = result.rows[-1]
+    # pLUTo saves orders of magnitude of energy over the CPU and a large
+    # factor over the GPU; GMC > BSA > GSA (Section 8.3).
+    assert gmean["pLUTo-GMC"] > gmean["pLUTo-BSA"] > gmean["pLUTo-GSA"] > 10
+    assert gmean["pLUTo-BSA"] > 100
+    assert gmean["pLUTo-BSA"] > 10 * gmean["GPU"]

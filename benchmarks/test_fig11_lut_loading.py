@@ -1,0 +1,14 @@
+"""Benchmark: reproduce Figure 11 (LUT loading overhead)."""
+
+from repro.evaluation.figures import figure11_lut_loading
+
+
+def test_fig11_lut_loading(benchmark):
+    result = benchmark(figure11_lut_loading)
+    ddr4 = [row for row in result.rows if row["source"] == "DDR4"]
+    ssd = [row for row in result.rows if row["source"] == "SSD"]
+    # Loading overhead falls quickly with queried volume and is higher when
+    # LUTs come from the SSD; at >= 120 MB the DDR4 fraction is a few percent.
+    assert all(b["load_fraction"] <= a["load_fraction"] for a, b in zip(ddr4, ddr4[1:]))
+    assert ddr4[-1]["load_fraction"] < 0.05
+    assert all(s["load_fraction"] >= d["load_fraction"] for s, d in zip(ssd, ddr4))

@@ -1,0 +1,19 @@
+"""Benchmark: reproduce Figure 12 (LUT-query scalability, multiplication efficiency)."""
+
+from repro.evaluation.figures import figure12_scalability
+
+
+def test_fig12_scalability(benchmark):
+    result = benchmark(figure12_scalability)
+    panel_a = [row for row in result.rows if row["panel"] == "a"]
+    panel_b = {row["bit_width"]: row for row in result.rows if row["panel"] == "b"}
+    # (a) Throughput falls and energy rises with LUT size; GMC is the
+    # fastest / most efficient design at every size.
+    for row in panel_a:
+        assert row["pLUTo-GMC_throughput"] >= row["pLUTo-BSA_throughput"]
+        assert row["pLUTo-GMC_energy_j"] <= row["pLUTo-BSA_energy_j"]
+    assert panel_a[0]["pLUTo-BSA_throughput"] > panel_a[-1]["pLUTo-BSA_throughput"]
+    # (b) pLUTo beats the PnM baseline for low-precision multiplication and
+    # loses at 32 bits (the crossover the paper discusses).
+    assert panel_b[4]["pLUTo-BSA_ops_per_j"] > panel_b[4]["PnM_ops_per_j"]
+    assert panel_b[32]["pLUTo-BSA_ops_per_j"] < panel_b[32]["PnM_ops_per_j"]

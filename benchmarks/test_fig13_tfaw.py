@@ -1,0 +1,17 @@
+"""Benchmark: reproduce Figure 13 (tFAW sensitivity)."""
+
+from repro.evaluation.figures import figure13_tfaw_sensitivity
+
+
+def test_fig13_tfaw_sensitivity(benchmark, report_scale):
+    result = benchmark(figure13_tfaw_sensitivity, (0.0, 0.5, 1.0), report_scale)
+    gmeans = {
+        row["tfaw_fraction"]: row["relative_performance"]
+        for row in result.rows
+        if row["workload"] == "GMEAN"
+    }
+    # Tighter activation windows reduce performance monotonically, but
+    # pLUTo remains well within a usable range at nominal tFAW.
+    assert gmeans[0.0] == 1.0
+    assert gmeans[1.0] <= gmeans[0.5] <= gmeans[0.0]
+    assert gmeans[1.0] > 0.4

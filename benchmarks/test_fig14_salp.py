@@ -1,0 +1,15 @@
+"""Benchmark: reproduce Figure 14 (subarray-level parallelism scaling)."""
+
+from repro.evaluation.figures import figure14_salp_scaling
+
+
+def test_fig14_salp_scaling(benchmark):
+    result = benchmark(figure14_salp_scaling, (1, 16, 256, 2048), (512, 8192), 1.0)
+    ddr4 = [row for row in result.rows if row["memory"] == "DDR4"]
+    threeds = [row for row in result.rows if row["memory"] == "3DS"]
+    # Performance scales close to linearly with subarray count for large
+    # inputs, for both DDR4 and 3DS memories (Section 8.8).
+    ddr4_speedups = [row["pLUTo-BSA"] for row in ddr4]
+    assert all(b > a for a, b in zip(ddr4_speedups, ddr4_speedups[1:]))
+    assert ddr4_speedups[1] > 6 * ddr4_speedups[0]
+    assert threeds[1]["pLUTo-BSA"] > threeds[0]["pLUTo-BSA"]

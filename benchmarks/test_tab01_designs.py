@@ -1,0 +1,12 @@
+"""Benchmark: reproduce Table 1 (design comparison)."""
+
+from repro.evaluation.tables import table01_design_comparison
+
+
+def test_tab01_design_comparison(benchmark):
+    result = benchmark(table01_design_comparison, 256)
+    rows = {row["design"]: row for row in result.rows}
+    assert rows["pLUTo-GMC"]["query_latency_ns"] < rows["pLUTo-BSA"]["query_latency_ns"]
+    assert rows["pLUTo-GSA"]["query_latency_ns"] > rows["pLUTo-BSA"]["query_latency_ns"]
+    assert rows["pLUTo-GMC"]["query_energy_nj"] < rows["pLUTo-BSA"]["query_energy_nj"]
+    assert rows["pLUTo-GSA"]["lut_load_per_query"]

@@ -1,0 +1,14 @@
+"""Benchmark: reproduce Table 5 (area breakdown)."""
+
+import pytest
+
+from repro.evaluation.tables import table05_area_breakdown
+
+
+def test_tab05_area_breakdown(benchmark):
+    result = benchmark(table05_area_breakdown)
+    overheads = {row["configuration"]: row["Overhead"] for row in result.rows}
+    # Paper: +10.2 % (GSA), +16.7 % (BSA), +23.1 % (GMC).
+    assert overheads["pLUTo-GSA"] == pytest.approx(0.102, abs=0.01)
+    assert overheads["pLUTo-BSA"] == pytest.approx(0.167, abs=0.01)
+    assert overheads["pLUTo-GMC"] == pytest.approx(0.231, abs=0.01)

@@ -1,0 +1,15 @@
+"""Benchmark: reproduce Table 7 (quantized LeNet-5 inference)."""
+
+from repro.evaluation.tables import table07_qnn_inference
+
+
+def test_tab07_qnn_inference(benchmark):
+    result = benchmark(table07_qnn_inference)
+    for bits in (1, 4):
+        rows = {row["system"]: row for row in result.rows if row["bits"] == bits}
+        pluto = rows["pLUTo-BSA"]
+        # pLUTo-BSA is the fastest and most energy-efficient system for both
+        # quantization levels (paper: 10-30x CPU, 2-7x GPU, 6-19x FPGA).
+        for system in ("CPU", "GPU", "FPGA"):
+            assert pluto["time_us"] < rows[system]["time_us"]
+            assert pluto["energy_mj"] < rows[system]["energy_mj"]

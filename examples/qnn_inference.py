@@ -1,0 +1,32 @@
+"""Quantized neural network example (the Table 7 case study).
+
+Builds 1-bit and 4-bit quantized LeNet-5 networks, calibrates them on the
+synthetic MNIST-like dataset, reports their classification accuracy, and
+prints the Table 7 reproduction: inference time and energy on the CPU, GPU,
+FPGA, and pLUTo-BSA.
+
+Run with:  python examples/qnn_inference.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import render_result, table07_qnn_inference
+from repro.nn import LeNet5, synthetic_mnist
+
+
+def main() -> None:
+    train_images, train_labels = synthetic_mnist(300, seed=11)
+    test_images, test_labels = synthetic_mnist(100, seed=12)
+
+    for bits in (1, 4):
+        network = LeNet5(weight_bits=bits)
+        network.calibrate(train_images, train_labels)
+        accuracy = network.accuracy(test_images, test_labels)
+        print(f"{bits}-bit LeNet-5: {network.macs_per_image} MACs/inference, "
+              f"synthetic-MNIST accuracy {accuracy:.0%}")
+    print()
+    print(render_result(table07_qnn_inference()))
+
+
+if __name__ == "__main__":
+    main()

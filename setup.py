@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on
+environments with older setuptools/pip combinations (no ``wheel`` package
+available for PEP 660 builds).
+"""
+
+from setuptools import setup
+
+setup()

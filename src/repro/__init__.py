@@ -1,0 +1,37 @@
+"""pLUTo reproduction: LUT-based Processing-using-Memory in DRAM.
+
+This package is a behavioural and analytical reproduction of
+
+    "pLUTo: Enabling Massively Parallel Computation in DRAM via Lookup
+    Tables" (Ferreira et al., MICRO 2022).
+
+The public API is organised by subsystem:
+
+``repro.dram``
+    DRAM organisation, timing, energy, and a functional (bit-accurate)
+    model of subarrays, banks, and modules.
+``repro.inmem``
+    Prior Processing-using-Memory primitives pLUTo builds on: RowClone,
+    LISA-RBM, Ambit bulk bitwise operations, DRISA shifting, and
+    subarray-level parallelism.
+``repro.circuit``
+    The SPICE-substitute bitline circuit model used to reproduce the
+    reliability study (Figure 6).
+``repro.core``
+    The pLUTo contribution itself: the three designs (BSA, GSA, GMC),
+    the match logic, the pLUTo Row Sweep, the functional LUT-query
+    engine, and the analytical throughput/energy/area models.
+``repro.isa`` / ``repro.api`` / ``repro.compiler`` / ``repro.controller``
+    The system-integration stack of Section 6.
+``repro.baselines``
+    Analytical CPU, GPU, FPGA, PnM, SIMDRAM, Ambit, DRISA, and LAcc
+    models used for the comparative evaluation.
+``repro.workloads`` / ``repro.nn``
+    The eleven evaluated workloads and the quantized LeNet-5 case study.
+``repro.evaluation``
+    One experiment class per paper figure/table.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

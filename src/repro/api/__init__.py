@@ -1,0 +1,42 @@
+"""The pLUTo Library (Section 6.2): LUT builders and high-level routines."""
+
+from repro.api.handles import ApiCall, PlutoVector
+from repro.api.luts import (
+    add_lut,
+    binarize_lut,
+    bitcount_lut,
+    bitwise_lut,
+    color_grade_lut,
+    crc8_lut,
+    crc16_lut,
+    crc32_lut,
+    exponentiation_lut,
+    identity_lut,
+    multiply_lut,
+    permutation_lut,
+    quantize_lut,
+    relu_lut,
+    sign_lut,
+)
+from repro.api.session import PlutoSession
+
+__all__ = [
+    "ApiCall",
+    "PlutoVector",
+    "PlutoSession",
+    "add_lut",
+    "binarize_lut",
+    "bitcount_lut",
+    "bitwise_lut",
+    "color_grade_lut",
+    "crc8_lut",
+    "crc16_lut",
+    "crc32_lut",
+    "exponentiation_lut",
+    "identity_lut",
+    "multiply_lut",
+    "permutation_lut",
+    "quantize_lut",
+    "relu_lut",
+    "sign_lut",
+]

@@ -1,0 +1,84 @@
+"""Handles used by the pLUTo Library: vectors and API calls.
+
+``pluto_malloc`` returns a :class:`PlutoVector` handle; the library
+routines (``api_pluto_add`` etc.) record :class:`ApiCall` objects that the
+pLUTo Compiler later lowers to ISA instructions.  Keeping the API layer
+symbolic (handles + calls) is what allows the compiler to analyse data
+dependences and insert alignment operations (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.lut import LookupTable
+from repro.errors import ConfigurationError
+
+__all__ = ["PlutoVector", "ApiCall"]
+
+
+@dataclass(frozen=True)
+class PlutoVector:
+    """A handle to a pLUTo-resident vector (one or more DRAM rows)."""
+
+    name: str
+    size: int
+    bit_width: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"vector {self.name!r} must have positive size")
+        if self.bit_width <= 0:
+            raise ConfigurationError(
+                f"vector {self.name!r} must have a positive bit width"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        """Total payload size in bits."""
+        return self.size * self.bit_width
+
+
+@dataclass(frozen=True)
+class ApiCall:
+    """One recorded pLUTo Library call.
+
+    Attributes
+    ----------
+    operation:
+        Routine name, e.g. ``"add"``, ``"mul"``, ``"map"``, ``"and"``.
+    inputs:
+        Input vector handles, in operand order.
+    output:
+        Output vector handle.
+    lut:
+        For LUT-backed routines, the lookup table to query.
+    parameters:
+        Extra routine-specific parameters (e.g. shift amounts).
+    """
+
+    operation: str
+    inputs: tuple[PlutoVector, ...]
+    output: PlutoVector
+    lut: LookupTable | None = None
+    parameters: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.operation:
+            raise ConfigurationError("API calls need a non-empty operation name")
+        if not self.inputs:
+            raise ConfigurationError(
+                f"API call {self.operation!r} needs at least one input vector"
+            )
+        sizes = {vector.size for vector in self.inputs} | {self.output.size}
+        if len(sizes) != 1:
+            raise ConfigurationError(
+                f"API call {self.operation!r}: all operands must have the same "
+                f"element count, got sizes {sorted(sizes)}"
+            )
+
+    @property
+    def is_lut_query(self) -> bool:
+        """Whether lowering this call produces a ``pluto_op``."""
+        return self.lut is not None

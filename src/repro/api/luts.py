@@ -1,0 +1,252 @@
+"""Standard LUT builders used by the pLUTo Library routines and workloads.
+
+Every builder returns a :class:`repro.core.lut.LookupTable`.  Binary
+operations (addition, multiplication, bitwise logic) are tabulated over the
+concatenation of their operands, matching the operand-merging convention of
+the pLUTo compiler (``index = (left << right_bits) | right``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.core.lut import LookupTable, concat_binary_lut, lut_from_function, sequence_lut
+from repro.errors import LUTError
+from repro.utils.bitops import mask_of
+
+__all__ = [
+    "identity_lut",
+    "add_lut",
+    "multiply_lut",
+    "bitwise_lut",
+    "bitcount_lut",
+    "exponentiation_lut",
+    "binarize_lut",
+    "color_grade_lut",
+    "crc8_lut",
+    "crc16_lut",
+    "crc32_lut",
+    "permutation_lut",
+    "sign_lut",
+    "relu_lut",
+    "quantize_lut",
+]
+
+
+def identity_lut(bits: int) -> LookupTable:
+    """LUT mapping every value to itself (used in tests and data movement)."""
+    return lut_from_function(lambda x: x, bits, bits, name=f"identity{bits}")
+
+
+def add_lut(operand_bits: int) -> LookupTable:
+    """Addition LUT for two ``operand_bits``-wide operands.
+
+    The numerical result needs ``operand_bits + 1`` bits, but the stored
+    element width equals the index width (``2 * operand_bits``) because the
+    LUT element width must be at least the comparator width (footnote 5 of
+    the paper); e.g. the 4-bit addition uses a 256-entry LUT with 8-bit
+    elements.
+    """
+    return concat_binary_lut(
+        lambda a, b: a + b,
+        operand_bits,
+        operand_bits,
+        2 * operand_bits,
+        name=f"add{operand_bits}",
+    )
+
+
+def multiply_lut(operand_bits: int) -> LookupTable:
+    """Multiplication LUT for two ``operand_bits``-wide operands."""
+    return concat_binary_lut(
+        lambda a, b: a * b,
+        operand_bits,
+        operand_bits,
+        2 * operand_bits,
+        name=f"mul{operand_bits}",
+    )
+
+
+def bitwise_lut(operation: str, operand_bits: int = 1) -> LookupTable:
+    """LUT for a bitwise operation over concatenated operands.
+
+    The paper's "row-level bitwise logic" workload uses 4-entry LUTs
+    (1-bit operands).
+    """
+    operations: dict[str, Callable[[int, int], int]] = {
+        "and": lambda a, b: a & b,
+        "or": lambda a, b: a | b,
+        "xor": lambda a, b: a ^ b,
+        "nand": lambda a, b: (~(a & b)) & mask_of(operand_bits),
+        "nor": lambda a, b: (~(a | b)) & mask_of(operand_bits),
+        "xnor": lambda a, b: (~(a ^ b)) & mask_of(operand_bits),
+    }
+    operation = operation.lower()
+    if operation not in operations:
+        raise LUTError(f"unsupported bitwise LUT operation {operation!r}")
+    return concat_binary_lut(
+        operations[operation],
+        operand_bits,
+        operand_bits,
+        2 * operand_bits,
+        name=f"{operation}{operand_bits}",
+    )
+
+
+def bitcount_lut(bits: int) -> LookupTable:
+    """Population-count LUT (the BC-4 / BC-8 workloads).
+
+    The element width matches the index width so the LUT can be queried by
+    a ``pluto_op`` directly (element width >= comparator width).
+    """
+    return lut_from_function(
+        lambda x: bin(x).count("1"), bits, bits, name=f"bitcount{bits}"
+    )
+
+
+def exponentiation_lut(bits: int, base: float = math.e, scale: float | None = None) -> LookupTable:
+    """Exponentiation LUT: ``f(x) = round(scale * base**(x / 2**bits))``.
+
+    The input is treated as a fixed-point fraction in [0, 1); the output is
+    an unsigned ``bits``-wide integer.  This is the "8-bit exponentiation"
+    entry of Table 6.
+    """
+    if scale is None:
+        scale = (mask_of(bits)) / (base ** 1.0)
+
+    def _exp(x: int) -> int:
+        value = scale * (base ** (x / float(1 << bits)))
+        return min(mask_of(bits), int(round(value)))
+
+    return lut_from_function(_exp, bits, bits, name=f"exp{bits}")
+
+
+def binarize_lut(threshold: int, bits: int = 8) -> LookupTable:
+    """Image binarization LUT: 1 if the pixel exceeds ``threshold`` else 0.
+
+    The paper binarizes 8-bit pixels against a 50 % threshold; the output is
+    stored as an 8-bit element (0 or 255) so it remains a displayable image.
+    """
+    if not 0 <= threshold <= mask_of(bits):
+        raise LUTError(f"threshold {threshold} outside the {bits}-bit pixel range")
+    return lut_from_function(
+        lambda x: mask_of(bits) if x > threshold else 0,
+        bits,
+        bits,
+        name=f"binarize{bits}_t{threshold}",
+    )
+
+
+def color_grade_lut(
+    curve: Callable[[float], float] | None = None, bits: int = 8
+) -> LookupTable:
+    """Colour-grading LUT: an 8-bit-to-8-bit tone curve (Final Cut style).
+
+    The default curve is a smooth S-curve (gamma lift in the shadows, roll
+    off in the highlights), the classic "cinematic" grade.
+    """
+    full_scale = mask_of(bits)
+
+    def _default_curve(x: float) -> float:
+        # Smoothstep-based S-curve on normalised intensity.
+        return x * x * (3.0 - 2.0 * x)
+
+    curve = curve or _default_curve
+
+    def _grade(x: int) -> int:
+        normalised = x / full_scale
+        graded = min(1.0, max(0.0, curve(normalised)))
+        return int(round(graded * full_scale))
+
+    return lut_from_function(_grade, bits, bits, name=f"colorgrade{bits}")
+
+
+# --------------------------------------------------------------------- #
+# CRC byte tables (standard table-driven CRC, Hacker's Delight style)
+# --------------------------------------------------------------------- #
+def _crc_table(width: int, polynomial: int, reflected: bool) -> list[int]:
+    table = []
+    top_bit = 1 << (width - 1)
+    for byte in range(256):
+        if reflected:
+            crc = byte
+            for _ in range(8):
+                crc = (crc >> 1) ^ (polynomial if crc & 1 else 0)
+        else:
+            crc = byte << (width - 8)
+            for _ in range(8):
+                crc = ((crc << 1) ^ polynomial) if crc & top_bit else (crc << 1)
+            crc &= mask_of(width)
+        table.append(crc & mask_of(width))
+    return table
+
+
+def crc8_lut(polynomial: int = 0x07) -> LookupTable:
+    """Byte-indexed CRC-8 table (SMBus polynomial by default)."""
+    return LookupTable(
+        values=tuple(_crc_table(8, polynomial, reflected=False)),
+        index_bits=8,
+        element_bits=8,
+        name="crc8",
+    )
+
+
+def crc16_lut(polynomial: int = 0x1021) -> LookupTable:
+    """Byte-indexed CRC-16 table (CCITT polynomial by default)."""
+    return LookupTable(
+        values=tuple(_crc_table(16, polynomial, reflected=False)),
+        index_bits=8,
+        element_bits=16,
+        name="crc16",
+    )
+
+
+def crc32_lut(polynomial: int = 0xEDB88320) -> LookupTable:
+    """Byte-indexed CRC-32 table (reflected IEEE 802.3 polynomial)."""
+    return LookupTable(
+        values=tuple(_crc_table(32, polynomial, reflected=True)),
+        index_bits=8,
+        element_bits=32,
+        name="crc32",
+    )
+
+
+def permutation_lut(permutation: Sequence[int], bits: int = 8, name: str = "sbox") -> LookupTable:
+    """Substitution-table LUT from an explicit permutation (VMPC S-box style)."""
+    if len(permutation) != (1 << bits):
+        raise LUTError(
+            f"permutation length {len(permutation)} does not match {bits}-bit domain"
+        )
+    if sorted(permutation) != list(range(1 << bits)):
+        raise LUTError("permutation must contain every value exactly once")
+    return sequence_lut(list(permutation), bits, name=name)
+
+
+# --------------------------------------------------------------------- #
+# Quantized-neural-network LUTs (Section 9)
+# --------------------------------------------------------------------- #
+def sign_lut(bits: int = 8) -> LookupTable:
+    """Binarization/sign activation for 1-bit networks: 1 if x >= midpoint."""
+    midpoint = 1 << (bits - 1)
+    return lut_from_function(
+        lambda x: 1 if x >= midpoint else 0, bits, bits, name=f"sign{bits}"
+    )
+
+
+def relu_lut(bits: int = 8) -> LookupTable:
+    """ReLU on two's-complement ``bits``-wide values."""
+    sign_bit = 1 << (bits - 1)
+    return lut_from_function(
+        lambda x: 0 if x & sign_bit else x, bits, bits, name=f"relu{bits}"
+    )
+
+
+def quantize_lut(input_bits: int, output_bits: int) -> LookupTable:
+    """Requantization LUT: drop the least-significant bits of an accumulator."""
+    if output_bits > input_bits:
+        raise LUTError("cannot quantize to a wider format")
+    shift = input_bits - output_bits
+    return lut_from_function(
+        lambda x: x >> shift, input_bits, input_bits, name=f"quant{input_bits}to{output_bits}"
+    )

@@ -1,0 +1,161 @@
+"""The pLUTo Library session: ``pluto_malloc`` and the ``api_pluto_*`` routines.
+
+A :class:`PlutoSession` records the program a user expresses with library
+calls (Figure 5 b).  The session only builds the symbolic call list; the
+pLUTo Compiler turns it into ISA instructions and the pLUTo Controller
+executes those on the functional engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api.handles import ApiCall, PlutoVector
+from repro.api.luts import add_lut, bitwise_lut, multiply_lut
+from repro.core.lut import LookupTable
+from repro.errors import ConfigurationError
+
+__all__ = ["PlutoSession"]
+
+
+@dataclass
+class PlutoSession:
+    """Builds a pLUTo API program: allocations plus recorded library calls."""
+
+    vectors: list[PlutoVector] = field(default_factory=list)
+    calls: list[ApiCall] = field(default_factory=list)
+    _counter: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Memory allocation (Section 6.2, "Memory Allocation")
+    # ------------------------------------------------------------------ #
+    def pluto_malloc(self, size: int, bit_width: int, name: str | None = None) -> PlutoVector:
+        """Allocate a pLUTo-resident vector of ``size`` ``bit_width``-bit elements."""
+        if name is None:
+            name = f"v{self._counter}"
+            self._counter += 1
+        if any(vector.name == name for vector in self.vectors):
+            raise ConfigurationError(f"a vector named {name!r} already exists")
+        vector = PlutoVector(name=name, size=size, bit_width=bit_width)
+        self.vectors.append(vector)
+        return vector
+
+    # ------------------------------------------------------------------ #
+    # Computation routines (Section 6.2, "Computation")
+    # ------------------------------------------------------------------ #
+    def _record(self, call: ApiCall) -> ApiCall:
+        self.calls.append(call)
+        return call
+
+    def api_pluto_add(
+        self, in1: PlutoVector, in2: PlutoVector, out: PlutoVector, bit_width: int
+    ) -> ApiCall:
+        """Element-wise addition via a concatenated-operand LUT query."""
+        self._check_operand_width(in1, in2, bit_width)
+        return self._record(
+            ApiCall(
+                operation="add",
+                inputs=(in1, in2),
+                output=out,
+                lut=add_lut(bit_width),
+                parameters={"bit_width": bit_width},
+            )
+        )
+
+    def api_pluto_mul(
+        self, in1: PlutoVector, in2: PlutoVector, out: PlutoVector, bit_width: int
+    ) -> ApiCall:
+        """Element-wise multiplication via a concatenated-operand LUT query."""
+        self._check_operand_width(in1, in2, bit_width)
+        return self._record(
+            ApiCall(
+                operation="mul",
+                inputs=(in1, in2),
+                output=out,
+                lut=multiply_lut(bit_width),
+                parameters={"bit_width": bit_width},
+            )
+        )
+
+    def api_pluto_map(
+        self, lut: LookupTable, source: PlutoVector, out: PlutoVector
+    ) -> ApiCall:
+        """Apply an arbitrary unary LUT to every element (the generic query)."""
+        if source.bit_width < lut.index_bits:
+            raise ConfigurationError(
+                f"vector {source.name!r} ({source.bit_width}-bit) cannot index a "
+                f"{lut.num_entries}-entry LUT"
+            )
+        return self._record(
+            ApiCall(operation="map", inputs=(source,), output=out, lut=lut)
+        )
+
+    def api_pluto_bitwise(
+        self,
+        operation: str,
+        in1: PlutoVector,
+        in2: PlutoVector | None,
+        out: PlutoVector,
+    ) -> ApiCall:
+        """Row-level bitwise logic (lowered to Ambit-style in-DRAM operations)."""
+        operation = operation.lower()
+        if operation == "not":
+            inputs: tuple[PlutoVector, ...] = (in1,)
+        else:
+            if in2 is None:
+                raise ConfigurationError(f"bitwise {operation!r} needs two inputs")
+            inputs = (in1, in2)
+        if operation not in ("not", "and", "or", "xor", "xnor"):
+            raise ConfigurationError(f"unsupported bitwise operation {operation!r}")
+        return self._record(
+            ApiCall(operation=operation, inputs=inputs, output=out)
+        )
+
+    def api_pluto_bitwise_lut(
+        self, operation: str, in1: PlutoVector, in2: PlutoVector, out: PlutoVector
+    ) -> ApiCall:
+        """Bitwise logic expressed as a LUT query (the paper's 4-entry LUTs)."""
+        return self._record(
+            ApiCall(
+                operation=f"{operation.lower()}_lut",
+                inputs=(in1, in2),
+                output=out,
+                lut=bitwise_lut(operation, 1),
+                parameters={"bit_width": 1},
+            )
+        )
+
+    def api_pluto_shift(
+        self, target: PlutoVector, out: PlutoVector, bits: int, direction: str = "l"
+    ) -> ApiCall:
+        """Element-wise shift (lowered to DRISA shift commands)."""
+        if direction not in ("l", "r"):
+            raise ConfigurationError("shift direction must be 'l' or 'r'")
+        if bits < 0:
+            raise ConfigurationError("shift amount must be non-negative")
+        return self._record(
+            ApiCall(
+                operation="shift",
+                inputs=(target,),
+                output=out,
+                parameters={"bits": bits, "direction": direction},
+            )
+        )
+
+    def api_pluto_move(self, source: PlutoVector, out: PlutoVector) -> ApiCall:
+        """In-DRAM copy of a vector (RowClone / LISA)."""
+        return self._record(ApiCall(operation="move", inputs=(source,), output=out))
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_operand_width(in1: PlutoVector, in2: PlutoVector, bit_width: int) -> None:
+        if bit_width <= 0:
+            raise ConfigurationError("operand bit width must be positive")
+        for vector in (in1, in2):
+            if vector.bit_width < bit_width:
+                raise ConfigurationError(
+                    f"vector {vector.name!r} is {vector.bit_width}-bit wide but the "
+                    f"routine operates on {bit_width}-bit operands"
+                )

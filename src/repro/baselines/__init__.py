@@ -1,0 +1,40 @@
+"""Baseline system models used by the comparative evaluation."""
+
+from repro.baselines.base import BaselineCost, BaselineSystem
+from repro.baselines.pnm import HMC_PNM, PnmBaseline, PnmSpec
+from repro.baselines.prior_pum import (
+    AMBIT,
+    DRISA_SYSTEM,
+    LACC,
+    PRIOR_PUM_SYSTEMS,
+    SIMDRAM,
+    PriorPumSystem,
+)
+from repro.baselines.processor import (
+    CPU_XEON_5118,
+    FPGA_ZCU102,
+    GPU_P100,
+    GPU_RTX_3080TI,
+    ProcessorBaseline,
+    ProcessorSpec,
+)
+
+__all__ = [
+    "BaselineCost",
+    "BaselineSystem",
+    "HMC_PNM",
+    "PnmBaseline",
+    "PnmSpec",
+    "AMBIT",
+    "DRISA_SYSTEM",
+    "LACC",
+    "PRIOR_PUM_SYSTEMS",
+    "SIMDRAM",
+    "PriorPumSystem",
+    "CPU_XEON_5118",
+    "FPGA_ZCU102",
+    "GPU_P100",
+    "GPU_RTX_3080TI",
+    "ProcessorBaseline",
+    "ProcessorSpec",
+]

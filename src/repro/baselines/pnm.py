@@ -1,0 +1,106 @@
+"""Processing-near-Memory (PnM) baseline.
+
+The paper's PnM baseline is an HMC-based system whose logic layer supports
+Ambit-style bulk bitwise operations and DRISA-style shifting, plus an
+on-die general-purpose core (1.25 GHz, 10 W TDP) for everything else
+(Table 3).  We model it as:
+
+* bitwise/shift portions of a recipe execute near the banks at internal
+  bandwidth (they are fast),
+* every LUT-backed or otherwise complex operation falls back to the on-die
+  core, which is a narrow in-order core — this is what makes PnM ~18x
+  slower than pLUTo on the evaluated workloads while still beating the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import BaselineCost, BaselineSystem
+from repro.core.recipe import WorkloadRecipe
+from repro.errors import ConfigurationError
+
+__all__ = ["PnmSpec", "PnmBaseline", "HMC_PNM"]
+
+
+@dataclass(frozen=True)
+class PnmSpec:
+    """Parameters of the HMC-based PnM system."""
+
+    name: str
+    #: Internal (vault) bandwidth available to near-bank operations (GB/s).
+    internal_bandwidth_gbps: float
+    #: Logic-layer core throughput in scalar operations per nanosecond.
+    core_throughput_gops: float
+    #: Busy power of the logic layer + DRAM (W).
+    busy_power_w: float
+    #: Fixed offload overhead (ns).
+    fixed_overhead_ns: float
+    #: Dynamic energy per byte touched internally (nJ/B).
+    energy_per_byte_nj: float
+    #: Dynamic energy per scalar core operation (nJ/op).
+    energy_per_op_nj: float
+    #: Logic-layer area (mm^2) used for performance-per-area figures.
+    area_mm2: float
+
+    def __post_init__(self) -> None:
+        if self.internal_bandwidth_gbps <= 0 or self.core_throughput_gops <= 0:
+            raise ConfigurationError(f"{self.name}: rates must be positive")
+
+
+#: HMC 2.1 logic layer: ~320 GB/s internal bandwidth, a 1.25 GHz in-order
+#: core (~2 ops/cycle sustained), 10 W TDP, ~4.4 mm^2 of logic per vault
+#: across 16 vaults (~70 mm^2).
+HMC_PNM = PnmSpec(
+    name="PnM",
+    internal_bandwidth_gbps=320.0,
+    core_throughput_gops=2.5,
+    busy_power_w=10.0,
+    fixed_overhead_ns=1_000.0,
+    energy_per_byte_nj=0.04,
+    energy_per_op_nj=0.03,
+    area_mm2=70.4,
+)
+
+
+class PnmBaseline(BaselineSystem):
+    """Cost model of the HMC-based PnM baseline."""
+
+    def __init__(self, spec: PnmSpec = HMC_PNM) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.area_mm2 = spec.area_mm2
+
+    def evaluate(self, recipe: WorkloadRecipe, elements: int) -> BaselineCost:
+        """Split the recipe into near-bank (fast) and core (slow) portions."""
+        if elements <= 0:
+            raise ConfigurationError("element count must be positive")
+        spec = self.spec
+        bytes_moved = elements * recipe.bytes_per_element
+
+        # Near-bank portion: bitwise logic and shifting move rows at
+        # internal bandwidth.
+        near_bank_time_ns = bytes_moved / spec.internal_bandwidth_gbps
+
+        # Core portion: the fraction of scalar work that is not simple
+        # bitwise/shift work (roughly, everything a LUT query replaces)
+        # executes on the logic-layer core at its kernel operation count.
+        lut_bound_ops = elements * recipe.effective_kernel_ops
+        if not recipe.uses_lut_queries:
+            # Purely bitwise workloads run almost entirely near the banks.
+            lut_bound_ops *= 0.05
+        core_time_ns = lut_bound_ops / spec.core_throughput_gops
+
+        latency = spec.fixed_overhead_ns + near_bank_time_ns + core_time_ns
+        dynamic_energy = (
+            bytes_moved * spec.energy_per_byte_nj
+            + lut_bound_ops * spec.energy_per_op_nj
+        )
+        static_energy = spec.busy_power_w * latency
+        return BaselineCost(
+            system=spec.name,
+            workload=recipe.name,
+            elements=elements,
+            latency_ns=latency,
+            energy_nj=dynamic_energy + static_energy,
+        )

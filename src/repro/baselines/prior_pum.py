@@ -1,0 +1,154 @@
+"""Prior Processing-using-Memory comparison points (Table 6).
+
+Table 6 compares pLUTo-BSA against Ambit, SIMDRAM, LAcc, and DRISA on
+per-operation latency, performance per area, and energy efficiency.  The
+prior-work operation latencies are modelled from their command sequences
+on the same DDR4 timings pLUTo uses:
+
+* **Ambit** executes everything with AAP (ACT-ACT-PRE) sequences; bit-serial
+  arithmetic on top of Ambit (as SIMDRAM systematises) costs a number of
+  AAPs that grows linearly with bit width for addition and quadratically
+  for multiplication.
+* **SIMDRAM** is the optimised bit-serial framework; it needs fewer AAPs
+  than naive Ambit arithmetic.
+* **LAcc** performs LUT-based vector multiplication with dedicated
+  near-mat LUT logic; it supports a narrower set of operations.
+* **DRISA** (3T1C variant) has lower storage density (2 GB per chip at
+  comparable area) and higher per-operation power.
+
+All latencies are for one full DRAM row of operands, matching Table 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import DDR4_2400, TimingParameters
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PriorPumSystem",
+    "AMBIT",
+    "SIMDRAM",
+    "LACC",
+    "DRISA_SYSTEM",
+    "PRIOR_PUM_SYSTEMS",
+]
+
+
+@dataclass(frozen=True)
+class PriorPumSystem:
+    """Per-operation cost model of one prior PuM architecture."""
+
+    name: str
+    capacity_gb: int
+    area_mm2: float
+    power_w: float
+    #: AAP sequences for the primitive bitwise operations.
+    bitwise_aaps: dict[str, int]
+    #: AAP sequences per result bit for N-bit addition (linear in N).
+    addition_aaps_per_bit: float
+    #: AAP sequences per (result bit)^2 for N-bit multiplication.
+    multiplication_aaps_per_bit_sq: float
+    #: AAP sequences per input bit for bit counting; ``None`` = unsupported.
+    bitcount_aaps_per_bit: float | None
+    #: Whether the system supports arbitrary LUT queries (only pLUTo does).
+    supports_lut_query: bool = False
+    timing: TimingParameters = DDR4_2400
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0 or self.area_mm2 <= 0 or self.power_w <= 0:
+            raise ConfigurationError(f"{self.name}: physical parameters must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Latency model
+    # ------------------------------------------------------------------ #
+    @property
+    def aap_ns(self) -> float:
+        """Latency of one ACT-ACT-PRE sequence."""
+        return 2 * self.timing.t_rcd + self.timing.t_rp
+
+    def bitwise_latency_ns(self, operation: str) -> float:
+        """Latency of a row-wide bitwise operation."""
+        operation = operation.lower()
+        if operation not in self.bitwise_aaps:
+            raise ConfigurationError(f"{self.name} does not support {operation!r}")
+        return self.bitwise_aaps[operation] * self.aap_ns
+
+    def addition_latency_ns(self, bits: int) -> float:
+        """Latency of row-wide N-bit addition."""
+        if bits <= 0:
+            raise ConfigurationError("bit width must be positive")
+        return self.addition_aaps_per_bit * bits * self.aap_ns
+
+    def multiplication_latency_ns(self, bits: int) -> float:
+        """Latency of row-wide N-bit multiplication (quadratic in N)."""
+        if bits <= 0:
+            raise ConfigurationError("bit width must be positive")
+        return self.multiplication_aaps_per_bit_sq * bits * bits * self.aap_ns
+
+    def bitcount_latency_ns(self, bits: int) -> float | None:
+        """Latency of N-bit population count, or ``None`` if unsupported."""
+        if bits <= 0:
+            raise ConfigurationError("bit width must be positive")
+        if self.bitcount_aaps_per_bit is None:
+            return None
+        return self.bitcount_aaps_per_bit * bits * self.aap_ns
+
+    def multiplication_energy_nj(self, bits: int, e_aap_nj: float = 6.93) -> float:
+        """Energy of row-wide N-bit multiplication (2 ACT + 1 PRE per AAP)."""
+        return (
+            self.multiplication_aaps_per_bit_sq * bits * bits * e_aap_nj
+        )
+
+
+#: AAP latency with DDR4-2400 17-17-17 timings is ~42.5 ns; the per-bit /
+#: per-bit^2 coefficients below are chosen to match the absolute latencies
+#: reported in Table 6 (e.g. Ambit 4-bit addition ~5081 ns, SIMDRAM ~1585 ns,
+#: SIMDRAM 4-bit multiplication ~7451 ns).
+AMBIT = PriorPumSystem(
+    name="Ambit",
+    capacity_gb=8,
+    area_mm2=61.0,
+    power_w=5.3,
+    bitwise_aaps={"not": 3, "and": 6, "or": 6, "xor": 14, "xnor": 14},
+    addition_aaps_per_bit=30.0,
+    multiplication_aaps_per_bit_sq=28.0,
+    bitcount_aaps_per_bit=17.0,
+)
+
+SIMDRAM = PriorPumSystem(
+    name="SIMDRAM",
+    capacity_gb=8,
+    area_mm2=61.1,
+    power_w=5.3,
+    bitwise_aaps={"not": 3, "and": 6, "or": 6, "xor": 14, "xnor": 14},
+    addition_aaps_per_bit=9.3,
+    multiplication_aaps_per_bit_sq=11.0,
+    bitcount_aaps_per_bit=6.8,
+)
+
+LACC = PriorPumSystem(
+    name="LAcc",
+    capacity_gb=8,
+    area_mm2=54.8,
+    power_w=5.3,
+    bitwise_aaps={"not": 3, "and": 6, "or": 6, "xor": 10, "xnor": 10},
+    addition_aaps_per_bit=6.7,
+    multiplication_aaps_per_bit_sq=7.9,
+    bitcount_aaps_per_bit=None,
+)
+
+DRISA_SYSTEM = PriorPumSystem(
+    name="DRISA",
+    capacity_gb=2,
+    area_mm2=65.2,
+    power_w=98.0,
+    bitwise_aaps={"not": 5, "and": 10, "or": 10, "xor": 16, "xnor": 16},
+    addition_aaps_per_bit=10.3,
+    multiplication_aaps_per_bit_sq=12.1,
+    bitcount_aaps_per_bit=39.0,
+)
+
+#: The four comparison systems of Table 6, in column order.
+PRIOR_PUM_SYSTEMS = (AMBIT, SIMDRAM, LACC, DRISA_SYSTEM)

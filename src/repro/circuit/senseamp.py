@@ -1,0 +1,61 @@
+"""Sense amplifier behavioural model.
+
+The sense amplifier decides the stored value from the charge-sharing
+perturbation and (in pLUTo-GSA/GMC) is additionally gated by the matchline.
+This model captures the decision logic and the minimum differential voltage
+required for reliable sensing, which the Monte-Carlo study perturbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.bitline import BitlineParameters, CellState
+from repro.errors import ConfigurationError
+
+__all__ = ["SenseAmplifier"]
+
+
+@dataclass
+class SenseAmplifier:
+    """Latch-style sense amplifier with a minimum sensing margin.
+
+    Attributes
+    ----------
+    min_margin_v:
+        Minimum |V_bitline - VDD/2| required to sense reliably.  With a 5 %
+        process variation on a ~110 mV charge-sharing swing, margins stay
+        well above the default 20 mV threshold.
+    enabled:
+        pLUTo-GSA/GMC gate the enable signal with the matchline.
+    """
+
+    min_margin_v: float = 0.02
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_margin_v <= 0:
+            raise ConfigurationError("sensing margin must be positive")
+
+    def sense(self, bitline_voltage: float, parameters: BitlineParameters) -> CellState:
+        """Resolve the bitline perturbation into a logical value.
+
+        Raises :class:`ConfigurationError` if the amplifier is disabled or
+        the perturbation is below the reliable-sensing margin.
+        """
+        if not self.enabled:
+            raise ConfigurationError("sense amplifier is gated off (no match)")
+        margin = bitline_voltage - parameters.precharge_voltage
+        if abs(margin) < self.min_margin_v:
+            raise ConfigurationError(
+                f"sensing margin {abs(margin) * 1e3:.1f} mV below the "
+                f"{self.min_margin_v * 1e3:.1f} mV reliability threshold"
+            )
+        return CellState.ONE if margin > 0 else CellState.ZERO
+
+    def can_sense(self, bitline_voltage: float, parameters: BitlineParameters) -> bool:
+        """Whether the perturbation is large enough for reliable sensing."""
+        if not self.enabled:
+            return False
+        margin = abs(bitline_voltage - parameters.precharge_voltage)
+        return margin >= self.min_margin_v

@@ -1,0 +1,6 @@
+"""The pLUTo Compiler (Section 6.3)."""
+
+from repro.compiler.dependency_graph import DependencyGraph
+from repro.compiler.lowering import CompiledProgram, PlutoCompiler
+
+__all__ = ["DependencyGraph", "CompiledProgram", "PlutoCompiler"]

@@ -1,0 +1,86 @@
+"""Data-dependency analysis of pLUTo API programs.
+
+The compiler analyses an application's data-dependency graph to plan
+in-memory placement and alignment of data (Figure 5 d).  We build a
+directed graph whose nodes are API calls and whose edges connect producers
+to consumers of each vector, then derive a topological execution order and
+per-vector lifetime information used by the allocator.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.api.handles import ApiCall, PlutoVector
+from repro.errors import CompilationError
+
+__all__ = ["DependencyGraph"]
+
+
+class DependencyGraph:
+    """Producer/consumer graph over a list of API calls."""
+
+    def __init__(self, calls: list[ApiCall]) -> None:
+        self.calls = list(calls)
+        self.graph = nx.DiGraph()
+        self._build()
+
+    def _build(self) -> None:
+        producers: dict[str, int] = {}
+        for index, call in enumerate(self.calls):
+            self.graph.add_node(index, call=call)
+            if call.output.name in producers:
+                raise CompilationError(
+                    f"vector {call.output.name!r} is written by more than one "
+                    "API call; pLUTo programs are single-assignment"
+                )
+            producers[call.output.name] = index
+        for index, call in enumerate(self.calls):
+            for operand in call.inputs:
+                producer = producers.get(operand.name)
+                if producer is not None and producer != index:
+                    self.graph.add_edge(producer, index, vector=operand.name)
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise CompilationError("the API program contains a dependency cycle")
+
+    # ------------------------------------------------------------------ #
+    # Queries used by the compiler
+    # ------------------------------------------------------------------ #
+    def execution_order(self) -> list[ApiCall]:
+        """API calls in a valid topological execution order.
+
+        Ties are broken by original program order so the lowering is
+        deterministic and matches what the programmer wrote when possible.
+        """
+        order = nx.lexicographical_topological_sort(self.graph, key=lambda node: node)
+        return [self.calls[node] for node in order]
+
+    def external_inputs(self) -> list[PlutoVector]:
+        """Vectors read by the program but never produced by it (user inputs)."""
+        produced = {call.output.name for call in self.calls}
+        seen: dict[str, PlutoVector] = {}
+        for call in self.calls:
+            for operand in call.inputs:
+                if operand.name not in produced and operand.name not in seen:
+                    seen[operand.name] = operand
+        return list(seen.values())
+
+    def outputs(self) -> list[PlutoVector]:
+        """Vectors produced but never consumed (program results)."""
+        consumed = {operand.name for call in self.calls for operand in call.inputs}
+        return [call.output for call in self.calls if call.output.name not in consumed]
+
+    def consumers_of(self, vector: PlutoVector) -> list[ApiCall]:
+        """All calls that read ``vector``."""
+        return [
+            call
+            for call in self.calls
+            if any(operand.name == vector.name for operand in call.inputs)
+        ]
+
+    @property
+    def depth(self) -> int:
+        """Length of the longest dependency chain (critical path in calls)."""
+        if not self.graph:
+            return 0
+        return nx.dag_longest_path_length(self.graph) + 1

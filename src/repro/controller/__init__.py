@@ -1,0 +1,14 @@
+"""The pLUTo Controller (Section 6.4)."""
+
+from repro.controller.allocation_table import AllocationTable, RowAllocation, SubarrayAllocation
+from repro.controller.executor import ExecutionResult, PlutoController
+from repro.controller.rom import CommandRom
+
+__all__ = [
+    "AllocationTable",
+    "RowAllocation",
+    "SubarrayAllocation",
+    "ExecutionResult",
+    "PlutoController",
+    "CommandRom",
+]

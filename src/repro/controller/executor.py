@@ -1,0 +1,304 @@
+"""The pLUTo Controller: executes compiled ISA programs.
+
+The controller plays the role described in Section 6.4: it walks the ISA
+program, consults the allocation table for physical placement, expands
+every instruction into DRAM commands via the command ROM (accumulating the
+latency/energy trace), and performs the *functional* effect of every
+instruction so program outputs are bit-exact.
+
+Functional state is kept per row register as a vector of element values.
+``pluto_op`` instructions are executed on a real :class:`PlutoSubarray`
+(match logic + row sweep + FF buffer) in row-sized chunks, so the data path
+exercised in tests is the same one the hardware description specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compiler.lowering import CompiledProgram
+from repro.controller.allocation_table import AllocationTable
+from repro.controller.rom import CommandRom
+from repro.core.analytical import PlutoCostModel
+from repro.core.designs import PlutoDesign
+from repro.core.engine import PlutoConfig, PlutoEngine
+from repro.core.subarray import PlutoSubarray
+from repro.dram.commands import CommandTrace, CommandType
+from repro.errors import ExecutionError
+from repro.isa.instructions import (
+    BitwiseKind,
+    PlutoBitShift,
+    PlutoBitwise,
+    PlutoByteShift,
+    PlutoMove,
+    PlutoOp,
+    PlutoRowAlloc,
+    PlutoSubarrayAlloc,
+    ShiftDirection,
+)
+from repro.isa.registers import RowRegister
+from repro.utils.bitops import mask_of
+
+__all__ = ["ExecutionResult", "PlutoController"]
+
+
+@dataclass
+class ExecutionResult:
+    """Outputs and costs of one program execution."""
+
+    outputs: dict[str, np.ndarray]
+    trace: CommandTrace
+    lut_queries: int
+    instructions_executed: int
+    registers: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def latency_ns(self) -> float:
+        """Total modelled latency of the execution."""
+        return self.trace.total_latency_ns
+
+    @property
+    def energy_nj(self) -> float:
+        """Total modelled energy of the execution."""
+        return self.trace.total_energy_nj
+
+
+class PlutoController:
+    """Executes compiled pLUTo programs on a functional engine."""
+
+    def __init__(self, engine: PlutoEngine | None = None) -> None:
+        self.engine = engine if engine is not None else PlutoEngine(PlutoConfig())
+        self.rom = CommandRom()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        compiled: CompiledProgram,
+        inputs: dict[str, np.ndarray],
+    ) -> ExecutionResult:
+        """Run a compiled program with the given external input vectors.
+
+        ``inputs`` maps vector names (as allocated by ``pluto_malloc``) to
+        integer element arrays.  The result contains every program output
+        plus the full command trace.
+        """
+        self._check_inputs(compiled, inputs)
+        geometry = self.engine.geometry
+        table = AllocationTable(geometry)
+        trace = CommandTrace(timing=self.engine.timing, energy=self.engine.energy)
+        cost_model: PlutoCostModel = self.engine.cost_model
+        design: PlutoDesign = self.engine.config.design
+
+        # Functional state: register index -> (values, bit width).
+        values: dict[int, np.ndarray] = {}
+        widths: dict[int, int] = {}
+        # LUT subarrays instantiated on demand, keyed by subarray register.
+        lut_subarrays: dict[int, PlutoSubarray] = {}
+
+        register_by_vector = compiled.vector_bindings
+        for name, data in inputs.items():
+            register = register_by_vector[name]
+            values[register.index] = np.asarray(data, dtype=np.uint64)
+            widths[register.index] = register.bit_width
+
+        lut_queries = 0
+        executed = 0
+        for instruction in compiled.program:
+            executed += 1
+            if isinstance(instruction, PlutoRowAlloc):
+                table.bind_row(instruction.destination)
+                if instruction.destination.index not in values:
+                    values[instruction.destination.index] = np.zeros(
+                        instruction.size_elements, dtype=np.uint64
+                    )
+                widths[instruction.destination.index] = instruction.bit_width
+                continue
+            if isinstance(instruction, PlutoSubarrayAlloc):
+                allocation = table.bind_subarray(instruction.destination)
+                lut = compiled.lut_bindings[instruction.destination.index]
+                subarray = PlutoSubarray(
+                    geometry, design, index=allocation.subarray
+                )
+                subarray.load_lut(lut)
+                lut_subarrays[instruction.destination.index] = subarray
+                # Loading the LUT costs one LISA move per LUT row.
+                trace.add(
+                    CommandType.LISA_RBM,
+                    bank=allocation.bank,
+                    subarray=allocation.subarray,
+                    meta=f"load {lut.name}",
+                    latency_ns=cost_model.lut_load_latency_ns(lut.num_entries),
+                    energy_nj=cost_model.lut_load_energy_nj(lut.num_entries),
+                )
+                continue
+
+            # All remaining instructions expand to DRAM commands.
+            self._account(instruction, table, trace, cost_model, design)
+
+            if isinstance(instruction, PlutoOp):
+                lut_queries += 1
+                self._execute_lut_query(
+                    instruction, values, widths, lut_subarrays
+                )
+            elif isinstance(instruction, PlutoBitwise):
+                self._execute_bitwise(instruction, values, widths)
+            elif isinstance(instruction, (PlutoBitShift, PlutoByteShift)):
+                self._execute_shift(instruction, values, widths)
+            elif isinstance(instruction, PlutoMove):
+                self._execute_move(instruction, values, widths)
+            else:
+                raise ExecutionError(
+                    f"unsupported instruction {type(instruction).__name__}"
+                )
+
+        outputs = {
+            vector.name: values[register_by_vector[vector.name].index].copy()
+            for vector in compiled.outputs
+        }
+        registers = {
+            name: values[register.index].copy()
+            for name, register in register_by_vector.items()
+            if register.index in values
+        }
+        return ExecutionResult(
+            outputs=outputs,
+            trace=trace,
+            lut_queries=lut_queries,
+            instructions_executed=executed,
+            registers=registers,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cost accounting
+    # ------------------------------------------------------------------ #
+    def _account(self, instruction, table, trace, cost_model, design) -> None:
+        if isinstance(instruction, PlutoOp):
+            allocation = table.bind_subarray(instruction.lut_subarray)
+            source_rows = table.bind_row(instruction.source).num_rows
+            latency = cost_model.query_latency_ns(design, instruction.lut_size)
+            energy = cost_model.query_energy_nj(design, instruction.lut_size)
+            for _ in range(source_rows):
+                trace.add_row_sweep(
+                    latency,
+                    energy,
+                    bank=allocation.bank,
+                    subarray=allocation.subarray,
+                    rows=instruction.lut_size,
+                    meta=instruction.render(),
+                )
+            return
+        for command in self.rom.expand(instruction):
+            # Scale per-row commands by the number of rows the operand spans.
+            rows = 1
+            if isinstance(instruction, (PlutoBitwise, PlutoBitShift, PlutoByteShift, PlutoMove)):
+                target = (
+                    instruction.destination
+                    if hasattr(instruction, "destination")
+                    else instruction.target
+                )
+                rows = table.bind_row(target).num_rows
+            for _ in range(rows):
+                trace.add(command.kind, meta=command.meta)
+
+    # ------------------------------------------------------------------ #
+    # Functional execution helpers
+    # ------------------------------------------------------------------ #
+    def _execute_lut_query(self, instruction: PlutoOp, values, widths, lut_subarrays) -> None:
+        subarray = lut_subarrays.get(instruction.lut_subarray.index)
+        if subarray is None:
+            raise ExecutionError(
+                f"{instruction.render()}: LUT subarray was never allocated"
+            )
+        source = values.get(instruction.source.index)
+        if source is None:
+            raise ExecutionError(
+                f"{instruction.render()}: source register has no data"
+            )
+        lut = subarray.lut
+        capacity = subarray.elements_per_query()
+        result = np.zeros_like(source)
+        for start in range(0, source.size, capacity):
+            chunk = source[start : start + capacity]
+            if subarray.properties.destructive_reads and not subarray.lut_valid:
+                subarray.reload_lut()
+            result[start : start + chunk.size] = subarray.query_indices(chunk)
+        values[instruction.destination.index] = result & np.uint64(
+            mask_of(min(64, lut.element_bits))
+        )
+        widths[instruction.destination.index] = lut.element_bits
+
+    def _execute_bitwise(self, instruction: PlutoBitwise, values, widths) -> None:
+        a = values[instruction.source1.index]
+        width = instruction.destination.bit_width
+        widths[instruction.destination.index] = width
+        mask = np.uint64(mask_of(min(64, width)))
+        if instruction.kind is BitwiseKind.NOT:
+            result = (~a) & mask
+        else:
+            b = values[instruction.source2.index]
+            if instruction.kind is BitwiseKind.AND:
+                result = a & b
+            elif instruction.kind is BitwiseKind.OR:
+                result = a | b
+            elif instruction.kind is BitwiseKind.XOR:
+                result = a ^ b
+            elif instruction.kind is BitwiseKind.XNOR:
+                result = (~(a ^ b)) & mask
+            else:
+                raise ExecutionError(f"unsupported bitwise kind {instruction.kind}")
+        values[instruction.destination.index] = result & mask
+
+    def _execute_shift(self, instruction, values, widths) -> None:
+        register: RowRegister = instruction.target
+        data = values[register.index]
+        amount = instruction.amount
+        if isinstance(instruction, PlutoByteShift):
+            amount *= 8
+        width = register.bit_width
+        widths[register.index] = width
+        mask = np.uint64(mask_of(min(64, width)))
+        if instruction.direction is ShiftDirection.LEFT:
+            values[register.index] = (data << np.uint64(amount)) & mask
+        else:
+            values[register.index] = data >> np.uint64(amount)
+
+    def _execute_move(self, instruction: PlutoMove, values, widths) -> None:
+        source = values.get(instruction.source.index)
+        if source is None:
+            raise ExecutionError(f"{instruction.render()}: source register has no data")
+        destination = values.get(instruction.destination.index)
+        if destination is not None and destination.size >= source.size:
+            destination[: source.size] = source
+            values[instruction.destination.index] = destination
+        else:
+            values[instruction.destination.index] = source.copy()
+        widths[instruction.destination.index] = instruction.destination.bit_width
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_inputs(compiled: CompiledProgram, inputs: dict[str, np.ndarray]) -> None:
+        for vector in compiled.external_inputs:
+            if vector.name not in inputs:
+                raise ExecutionError(
+                    f"missing input data for external vector {vector.name!r}"
+                )
+            data = np.asarray(inputs[vector.name])
+            if data.size != vector.size:
+                raise ExecutionError(
+                    f"input {vector.name!r} has {data.size} elements, "
+                    f"expected {vector.size}"
+                )
+            if data.size and int(data.max()) > mask_of(min(64, vector.bit_width)):
+                raise ExecutionError(
+                    f"input {vector.name!r} contains values wider than "
+                    f"{vector.bit_width} bits"
+                )
+        for name in inputs:
+            if name not in compiled.vector_bindings:
+                raise ExecutionError(f"input {name!r} is not a vector of this program")

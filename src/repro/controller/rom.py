@@ -1,0 +1,92 @@
+"""The pLUTo Controller's command ROM.
+
+The controller stores, in a small internal ROM, the DRAM command sequence
+each pLUTo ISA instruction expands to (Section 6.4).  For ordinary
+instructions this is a fixed template (e.g. an Ambit AND is four AAP
+sequences); for ``pluto_op`` the expansion is a single pLUTo Row Sweep
+whose length depends on the LUT size, so the ROM exposes a parameterised
+entry.
+"""
+
+from __future__ import annotations
+
+from repro.dram.commands import Command, CommandType
+from repro.errors import ExecutionError
+from repro.inmem.ambit import AmbitUnit
+from repro.inmem.drisa import DrisaShifter
+from repro.isa.instructions import (
+    BitwiseKind,
+    Instruction,
+    PlutoBitShift,
+    PlutoBitwise,
+    PlutoByteShift,
+    PlutoMove,
+    PlutoOp,
+    PlutoRowAlloc,
+    PlutoSubarrayAlloc,
+)
+
+__all__ = ["CommandRom"]
+
+
+class CommandRom:
+    """Maps ISA instructions to DRAM command sequences."""
+
+    def __init__(self) -> None:
+        self._ambit = AmbitUnit()
+        self._drisa = DrisaShifter()
+
+    def expand(self, instruction: Instruction, *, bank: int = 0, subarray: int = 0) -> list[Command]:
+        """Return the DRAM command sequence for one ISA instruction.
+
+        Allocation instructions expand to nothing (they only update the
+        allocation table); the remaining instructions expand to the command
+        sequences of the mechanism they borrow (Ambit, DRISA, RowClone,
+        LISA) or to a pLUTo Row Sweep.
+        """
+        if isinstance(instruction, (PlutoRowAlloc, PlutoSubarrayAlloc)):
+            return []
+        if isinstance(instruction, PlutoOp):
+            return [
+                Command(
+                    CommandType.ROW_SWEEP,
+                    bank=bank,
+                    subarray=subarray,
+                    rows=instruction.lut_size,
+                    meta=instruction.render(),
+                )
+            ]
+        if isinstance(instruction, PlutoBitwise):
+            count = self._ambit.command_count(self._ambit_name(instruction.kind))
+            return [
+                Command(CommandType.TRA, bank=bank, subarray=subarray, meta=instruction.render())
+                for _ in range(count)
+            ]
+        if isinstance(instruction, PlutoBitShift):
+            count = self._drisa.commands_for(instruction.amount)
+            return [
+                Command(CommandType.SHIFT, bank=bank, subarray=subarray, meta=instruction.render())
+                for _ in range(count)
+            ]
+        if isinstance(instruction, PlutoByteShift):
+            count = instruction.amount  # one command per byte step
+            return [
+                Command(CommandType.SHIFT, bank=bank, subarray=subarray, meta=instruction.render())
+                for _ in range(count)
+            ]
+        if isinstance(instruction, PlutoMove):
+            return [
+                Command(
+                    CommandType.LISA_RBM,
+                    bank=bank,
+                    subarray=subarray,
+                    meta=instruction.render(),
+                )
+            ]
+        raise ExecutionError(
+            f"the command ROM has no entry for {type(instruction).__name__}"
+        )
+
+    @staticmethod
+    def _ambit_name(kind: BitwiseKind) -> str:
+        return kind.value

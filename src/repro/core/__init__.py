@@ -1,0 +1,50 @@
+"""pLUTo core: designs, LUTs, match logic, query engine, analytical models."""
+
+from repro.core.analytical import PlutoCostModel, QueryCost
+from repro.core.area import BASE_DRAM_AREA, AreaBreakdown, AreaModel
+from repro.core.designs import DESIGN_PROPERTIES, DesignProperties, PlutoDesign
+from repro.core.engine import (
+    DDR4,
+    THREE_DS,
+    CostReport,
+    PlutoConfig,
+    PlutoEngine,
+)
+from repro.core.ff_buffer import FFBuffer
+from repro.core.lut import (
+    LookupTable,
+    concat_binary_lut,
+    lut_from_function,
+    replicate_lut_rows,
+    sequence_lut,
+)
+from repro.core.match_logic import MatchLogic, MatchResult
+from repro.core.recipe import WorkloadRecipe
+from repro.core.subarray import PlutoSubarray, SweepStatistics
+
+__all__ = [
+    "PlutoCostModel",
+    "QueryCost",
+    "BASE_DRAM_AREA",
+    "AreaBreakdown",
+    "AreaModel",
+    "DESIGN_PROPERTIES",
+    "DesignProperties",
+    "PlutoDesign",
+    "DDR4",
+    "THREE_DS",
+    "CostReport",
+    "PlutoConfig",
+    "PlutoEngine",
+    "FFBuffer",
+    "LookupTable",
+    "concat_binary_lut",
+    "lut_from_function",
+    "replicate_lut_rows",
+    "sequence_lut",
+    "MatchLogic",
+    "MatchResult",
+    "WorkloadRecipe",
+    "PlutoSubarray",
+    "SweepStatistics",
+]

@@ -1,0 +1,205 @@
+"""Analytical latency, throughput, and energy models of the pLUTo designs.
+
+These are direct transcriptions of the expressions derived in
+Sections 5.1.4, 5.2.3, and 5.3.4 and summarised in Table 1 (``N`` is the
+number of LUT elements, i.e. rows swept):
+
+================  =============================  ==========================
+Design            Query latency                  Query energy
+================  =============================  ==========================
+pLUTo-BSA         ``(tRCD + tRP) * N``           ``(E_ACT + E_PRE) * N``
+pLUTo-GSA         ``LISA*N + tRCD*N + tRP``      ``E_LISA*N + E_ACT*N + E_PRE``
+pLUTo-GMC         ``tRCD*N + tRP``               ``E_ACT*N + E_PRE``
+================  =============================  ==========================
+
+Throughput (LUT queries per second, for one subarray) is the number of
+elements per source row divided by the query latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.designs import PlutoDesign
+from repro.dram.energy import EnergyParameters
+from repro.dram.timing import TimingParameters
+from repro.errors import ConfigurationError
+from repro.utils.units import NANO
+
+__all__ = ["PlutoCostModel", "QueryCost"]
+
+
+@dataclass(frozen=True)
+class QueryCost:
+    """Cost of one pLUTo LUT Query over a single source row."""
+
+    latency_ns: float
+    energy_nj: float
+    elements: int
+
+    @property
+    def throughput_queries_per_s(self) -> float:
+        """Element lookups completed per second for one subarray."""
+        if self.latency_ns <= 0:
+            return float("inf")
+        return self.elements / (self.latency_ns * NANO)
+
+
+class PlutoCostModel:
+    """Latency/energy/throughput expressions for the three designs."""
+
+    def __init__(
+        self,
+        timing: TimingParameters,
+        energy: EnergyParameters,
+        row_size_bytes: int,
+        *,
+        rows_per_subarray: int = 512,
+        lisa_hop_latency_ns: float | None = None,
+    ) -> None:
+        if row_size_bytes <= 0:
+            raise ConfigurationError("row size must be positive")
+        if rows_per_subarray <= 0:
+            raise ConfigurationError("rows per subarray must be positive")
+        self.timing = timing
+        self.energy = energy
+        self.row_size_bytes = row_size_bytes
+        self.rows_per_subarray = rows_per_subarray
+        #: Latency of one LISA-RBM row move; defaults to tRCD + tRP, the
+        #: cost of the linked activate used by LISA.
+        self.lisa_hop_latency_ns = (
+            lisa_hop_latency_ns
+            if lisa_hop_latency_ns is not None
+            else timing.t_rcd + timing.t_rp
+        )
+
+    # ------------------------------------------------------------------ #
+    # Row Sweep latency (Table 1)
+    # ------------------------------------------------------------------ #
+    def sweep_latency_ns(self, design: PlutoDesign, lut_entries: int) -> float:
+        """Latency of one pLUTo Row Sweep over ``lut_entries`` rows.
+
+        LUTs larger than a subarray are partitioned across subarrays that
+        sweep in parallel (Section 5.6): the swept-row count per subarray —
+        and hence the latency — is capped at ``rows_per_subarray``, while
+        energy (see :meth:`query_energy_nj`) still grows with the full LUT
+        size because every partition activates its rows.
+        """
+        self._check_entries(lut_entries)
+        swept = min(lut_entries, self.rows_per_subarray)
+        timing = self.timing
+        if design is PlutoDesign.BSA:
+            return (timing.t_rcd + timing.t_rp) * swept
+        if design is PlutoDesign.GSA:
+            return timing.t_rcd * swept + timing.t_rp
+        if design is PlutoDesign.GMC:
+            return timing.t_rcd * swept + timing.t_rp
+        raise ConfigurationError(f"unknown design {design}")
+
+    def query_latency_ns(self, design: PlutoDesign, lut_entries: int) -> float:
+        """Latency of one full pLUTo LUT Query (Table 1, "Query Latency").
+
+        For pLUTo-GSA this includes reloading the LUT before the sweep,
+        because its destructive reads force a reload for every query.
+        """
+        self._check_entries(lut_entries)
+        sweep = self.sweep_latency_ns(design, lut_entries)
+        if design is PlutoDesign.GSA:
+            reload_rows = min(lut_entries, self.rows_per_subarray)
+            return self.lisa_hop_latency_ns * reload_rows + sweep
+        return sweep
+
+    def query_energy_nj(self, design: PlutoDesign, lut_entries: int) -> float:
+        """Energy of one full pLUTo LUT Query (Table 1, "Query Energy")."""
+        self._check_entries(lut_entries)
+        energy = self.energy
+        if design is PlutoDesign.BSA:
+            return (energy.e_act + energy.e_pre) * lut_entries
+        if design is PlutoDesign.GSA:
+            return (
+                energy.e_lisa_rbm * lut_entries
+                + energy.e_act * lut_entries
+                + energy.e_pre
+            )
+        if design is PlutoDesign.GMC:
+            return energy.e_act * lut_entries + energy.e_pre
+        raise ConfigurationError(f"unknown design {design}")
+
+    # ------------------------------------------------------------------ #
+    # Throughput (Sections 5.1.4 / 5.2.3 / 5.3.4)
+    # ------------------------------------------------------------------ #
+    def elements_per_row(self, input_bit_width: int) -> int:
+        """Number of LUT indices that fit in one source row."""
+        if input_bit_width <= 0:
+            raise ConfigurationError("input bit width must be positive")
+        return (self.row_size_bytes * 8) // input_bit_width
+
+    def query_cost(
+        self, design: PlutoDesign, lut_entries: int, input_bit_width: int
+    ) -> QueryCost:
+        """Latency/energy/elements for one query over a full source row."""
+        return QueryCost(
+            latency_ns=self.query_latency_ns(design, lut_entries),
+            energy_nj=self.query_energy_nj(design, lut_entries),
+            elements=self.elements_per_row(input_bit_width),
+        )
+
+    def throughput_queries_per_s(
+        self, design: PlutoDesign, lut_entries: int, input_bit_width: int
+    ) -> float:
+        """Maximum single-subarray LUT-query throughput (lookups per second)."""
+        return self.query_cost(design, lut_entries, input_bit_width).throughput_queries_per_s
+
+    # ------------------------------------------------------------------ #
+    # Auxiliary operation costs used by the workload recipes
+    # ------------------------------------------------------------------ #
+    def bitwise_latency_ns(self, aap_sequences: int = 4) -> float:
+        """Latency of one Ambit bulk bitwise operation (``aap_sequences`` AAPs)."""
+        if aap_sequences <= 0:
+            raise ConfigurationError("AAP count must be positive")
+        return aap_sequences * (2 * self.timing.t_rcd + self.timing.t_rp)
+
+    def bitwise_energy_nj(self, aap_sequences: int = 4) -> float:
+        """Energy of one Ambit bulk bitwise operation."""
+        if aap_sequences <= 0:
+            raise ConfigurationError("AAP count must be positive")
+        return aap_sequences * (2 * self.energy.e_act + self.energy.e_pre)
+
+    def shift_latency_ns(self, shift_commands: int) -> float:
+        """Latency of a DRISA shift decomposed into ``shift_commands`` steps."""
+        if shift_commands < 0:
+            raise ConfigurationError("shift command count must be non-negative")
+        return shift_commands * (2 * self.timing.t_rcd + self.timing.t_rp)
+
+    def shift_energy_nj(self, shift_commands: int) -> float:
+        """Energy of a DRISA shift."""
+        if shift_commands < 0:
+            raise ConfigurationError("shift command count must be non-negative")
+        return shift_commands * (2 * self.energy.e_act + self.energy.e_pre)
+
+    def move_latency_ns(self, hops: int = 1) -> float:
+        """Latency of a LISA row move across ``hops`` subarray links."""
+        if hops <= 0:
+            raise ConfigurationError("hop count must be positive")
+        return hops * self.lisa_hop_latency_ns
+
+    def move_energy_nj(self, hops: int = 1) -> float:
+        """Energy of a LISA row move."""
+        if hops <= 0:
+            raise ConfigurationError("hop count must be positive")
+        return hops * self.energy.e_lisa_rbm
+
+    def lut_load_latency_ns(self, lut_entries: int) -> float:
+        """Latency of loading a LUT into a pLUTo-enabled subarray via LISA."""
+        self._check_entries(lut_entries)
+        return lut_entries * self.lisa_hop_latency_ns
+
+    def lut_load_energy_nj(self, lut_entries: int) -> float:
+        """Energy of loading a LUT into a pLUTo-enabled subarray via LISA."""
+        self._check_entries(lut_entries)
+        return lut_entries * self.energy.e_lisa_rbm
+
+    @staticmethod
+    def _check_entries(lut_entries: int) -> None:
+        if lut_entries <= 0:
+            raise ConfigurationError("a LUT query must sweep at least one row")

@@ -1,0 +1,132 @@
+"""DRAM area model for the three pLUTo designs (Table 5).
+
+The paper derives per-component areas from CACTI 7 and transistor-count
+estimates.  We encode the same component breakdown and the same
+relative overheads: the matchline-controlled switch adds ~20 % of a sense
+amplifier per bitline (GSA), the switch + FF add ~60 % of the SA area
+(BSA), and the per-cell gate adds ~25 % to the cell array (GMC).  The
+resulting totals match Table 5: +10.2 %, +16.7 %, +23.1 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.designs import PlutoDesign
+from repro.errors import ConfigurationError
+
+__all__ = ["AreaBreakdown", "AreaModel", "BASE_DRAM_AREA"]
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-component DRAM chip area in mm^2 (one row of Table 5)."""
+
+    dram_cells: float
+    local_wordline_drivers: float
+    match_logic: float
+    match_lines: float
+    sense_amplifiers: float
+    row_decoder: float
+    column_decoder: float
+    other: float
+
+    @property
+    def total(self) -> float:
+        """Total chip area in mm^2."""
+        return (
+            self.dram_cells
+            + self.local_wordline_drivers
+            + self.match_logic
+            + self.match_lines
+            + self.sense_amplifiers
+            + self.row_decoder
+            + self.column_decoder
+            + self.other
+        )
+
+    def overhead_vs(self, baseline: "AreaBreakdown") -> float:
+        """Fractional area overhead relative to ``baseline`` (e.g. 0.102)."""
+        if baseline.total <= 0:
+            raise ConfigurationError("baseline area must be positive")
+        return self.total / baseline.total - 1.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Component name -> area, in the order Table 5 lists them."""
+        return {
+            "DRAM Cell": self.dram_cells,
+            "Local WL driver": self.local_wordline_drivers,
+            "Match Logic": self.match_logic,
+            "Match Lines": self.match_lines,
+            "Sense Amp": self.sense_amplifiers,
+            "Row Decoder": self.row_decoder,
+            "Column Decoder": self.column_decoder,
+            "Other": self.other,
+        }
+
+
+#: Baseline (unmodified) DRAM chip breakdown from Table 5.
+BASE_DRAM_AREA = AreaBreakdown(
+    dram_cells=45.23,
+    local_wordline_drivers=12.45,
+    match_logic=0.0,
+    match_lines=0.0,
+    sense_amplifiers=11.40,
+    row_decoder=0.16,
+    column_decoder=0.01,
+    other=0.99,
+)
+
+
+class AreaModel:
+    """Computes the Table 5 breakdown for each pLUTo design."""
+
+    #: Match logic / matchline areas are identical across designs (Table 5).
+    MATCH_LOGIC_AREA = 4.61
+    MATCH_LINES_AREA = 0.02
+    #: Row-decoder area including the Row Sweep stepping logic.
+    PLUTO_ROW_DECODER_AREA = 0.47
+    #: Sense-amplifier area factors relative to the baseline SA area:
+    #: GSA adds the matchline-controlled switch (~20 %), BSA additionally
+    #: adds the FF buffer (~60 % total).
+    SA_FACTOR = {
+        PlutoDesign.GSA: 1.20,
+        PlutoDesign.BSA: 1.60,
+        PlutoDesign.GMC: 1.00,
+    }
+    #: Cell-array factor: only GMC changes the cell (2T1C, +25 % per cell).
+    CELL_FACTOR = {
+        PlutoDesign.GSA: 1.00,
+        PlutoDesign.BSA: 1.00,
+        PlutoDesign.GMC: 1.25,
+    }
+
+    def __init__(self, baseline: AreaBreakdown = BASE_DRAM_AREA) -> None:
+        self.baseline = baseline
+
+    def breakdown(self, design: PlutoDesign) -> AreaBreakdown:
+        """Return the per-component breakdown of a pLUTo design."""
+        base = self.baseline
+        return AreaBreakdown(
+            dram_cells=base.dram_cells * self.CELL_FACTOR[design],
+            local_wordline_drivers=base.local_wordline_drivers,
+            match_logic=self.MATCH_LOGIC_AREA,
+            match_lines=self.MATCH_LINES_AREA,
+            sense_amplifiers=base.sense_amplifiers * self.SA_FACTOR[design],
+            row_decoder=self.PLUTO_ROW_DECODER_AREA,
+            column_decoder=base.column_decoder,
+            other=base.other,
+        )
+
+    def overhead(self, design: PlutoDesign) -> float:
+        """Fractional chip-area overhead of a design over baseline DRAM."""
+        return self.breakdown(design).overhead_vs(self.baseline)
+
+    def table5(self) -> dict[str, AreaBreakdown]:
+        """The full Table 5: baseline plus the three designs."""
+        return {
+            "Base DRAM": self.baseline,
+            PlutoDesign.GSA.display_name: self.breakdown(PlutoDesign.GSA),
+            PlutoDesign.BSA.display_name: self.breakdown(PlutoDesign.BSA),
+            PlutoDesign.GMC.display_name: self.breakdown(PlutoDesign.GMC),
+        }

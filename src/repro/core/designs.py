@@ -1,0 +1,88 @@
+"""The three pLUTo hardware designs and their qualitative properties.
+
+Section 5 proposes three designs that trade off throughput, energy
+efficiency, and area overhead (summarised in Table 1):
+
+=================  ==========  ==========  ==========
+Attribute          pLUTo-BSA   pLUTo-GSA   pLUTo-GMC
+=================  ==========  ==========  ==========
+Area efficiency    Medium      High        Low
+Throughput         Medium      Low         High
+Energy efficiency  Medium      Low         High
+Destructive reads  No          Yes         No
+LUT data loading   Once        Every use   Once
+=================  ==========  ==========  ==========
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["PlutoDesign", "DesignProperties", "DESIGN_PROPERTIES"]
+
+
+class PlutoDesign(enum.Enum):
+    """The three pLUTo designs of Section 5."""
+
+    #: Buffered Sense Amplifier: FF buffer behind each sense amplifier.
+    BSA = "pLUTo-BSA"
+    #: Gated Sense Amplifier: matchline-controlled switch isolates the SA.
+    GSA = "pLUTo-GSA"
+    #: Gated Memory Cell: 2T1C cell gated by the matchline.
+    GMC = "pLUTo-GMC"
+
+    @property
+    def display_name(self) -> str:
+        """Name as used in the paper's figures."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class DesignProperties:
+    """Qualitative properties of one design (Table 1)."""
+
+    design: PlutoDesign
+    destructive_reads: bool
+    lut_load_per_query: bool
+    uses_ff_buffer: bool
+    precharge_per_activation: bool
+    #: Relative area-overhead class used in summaries ("low" means the
+    #: design adds the least area).
+    area_class: str
+    throughput_class: str
+    energy_class: str
+
+
+DESIGN_PROPERTIES: dict[PlutoDesign, DesignProperties] = {
+    PlutoDesign.BSA: DesignProperties(
+        design=PlutoDesign.BSA,
+        destructive_reads=False,
+        lut_load_per_query=False,
+        uses_ff_buffer=True,
+        precharge_per_activation=True,
+        area_class="medium",
+        throughput_class="medium",
+        energy_class="medium",
+    ),
+    PlutoDesign.GSA: DesignProperties(
+        design=PlutoDesign.GSA,
+        destructive_reads=True,
+        lut_load_per_query=True,
+        uses_ff_buffer=False,
+        precharge_per_activation=False,
+        area_class="high",  # best area efficiency == smallest overhead
+        throughput_class="low",
+        energy_class="low",
+    ),
+    PlutoDesign.GMC: DesignProperties(
+        design=PlutoDesign.GMC,
+        destructive_reads=False,
+        lut_load_per_query=False,
+        uses_ff_buffer=False,
+        precharge_per_activation=False,
+        area_class="low",
+        throughput_class="high",
+        energy_class="high",
+    ),
+}

@@ -1,0 +1,85 @@
+"""The flip-flop (FF) buffer of pLUTo-BSA.
+
+pLUTo-BSA attaches one flip-flop to every sense amplifier through a
+matchline-controlled switch (Section 5.1.3).  During a Row Sweep, whenever
+a comparator fires, the currently sensed LUT element is latched into the
+corresponding FF positions; at the end of the sweep the FF buffer holds the
+complete LUT query output vector, which is then moved to the destination
+row buffer with a LISA-RBM operation.
+
+The GSA and GMC designs do not use an FF buffer — they capture matched
+elements directly in the (gated) sense amplifiers — but the capture
+semantics are identical, so they reuse this class as their output latch
+model with ``element_bits`` equal to the LUT element width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import pack_elements
+
+__all__ = ["FFBuffer"]
+
+
+class FFBuffer:
+    """Element-granularity output latch conditioned on matchlines."""
+
+    def __init__(self, num_elements: int, element_bits: int) -> None:
+        if num_elements <= 0:
+            raise ConfigurationError("FF buffer needs at least one element slot")
+        if element_bits <= 0:
+            raise ConfigurationError("element width must be positive")
+        self.num_elements = num_elements
+        self.element_bits = element_bits
+        self._values = np.zeros(num_elements, dtype=np.uint64)
+        self._captured = np.zeros(num_elements, dtype=bool)
+
+    def reset(self) -> None:
+        """Clear all latched values (start of a new query)."""
+        self._values[:] = 0
+        self._captured[:] = False
+
+    def capture(self, element_value: int, matches: np.ndarray) -> int:
+        """Latch ``element_value`` into every position whose matchline is high.
+
+        Returns the number of positions captured by this activation.
+        """
+        matches = np.asarray(matches, dtype=bool)
+        if matches.size != self.num_elements:
+            raise ConfigurationError(
+                f"match mask has {matches.size} entries, expected {self.num_elements}"
+            )
+        self._values[matches] = np.uint64(element_value)
+        self._captured |= matches
+        return int(np.count_nonzero(matches))
+
+    def capture_vector(self, element_values: np.ndarray, matches: np.ndarray) -> int:
+        """Latch per-position values (used when a row holds distinct copies)."""
+        element_values = np.asarray(element_values, dtype=np.uint64)
+        matches = np.asarray(matches, dtype=bool)
+        if element_values.size != self.num_elements or matches.size != self.num_elements:
+            raise ConfigurationError("value/match vectors must match the buffer size")
+        self._values[matches] = element_values[matches]
+        self._captured |= matches
+        return int(np.count_nonzero(matches))
+
+    @property
+    def values(self) -> np.ndarray:
+        """Current latched values (zeros where nothing was captured)."""
+        return self._values.copy()
+
+    @property
+    def captured_mask(self) -> np.ndarray:
+        """Boolean mask of positions that captured a value."""
+        return self._captured.copy()
+
+    @property
+    def complete(self) -> bool:
+        """Whether every position captured a value during the sweep."""
+        return bool(self._captured.all())
+
+    def to_row(self, row_bytes: int) -> np.ndarray:
+        """Pack the latched values into a DRAM row image."""
+        return pack_elements(self._values, self.element_bits, row_bytes)

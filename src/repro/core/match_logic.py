@@ -1,0 +1,91 @@
+"""pLUTo Match Logic.
+
+The match logic sits between the source subarray and the pLUTo-enabled
+subarray (Figure 2).  It contains one comparator per element slot of the
+source row buffer; during a Row Sweep each comparator compares its LUT
+index (from the source row buffer) against the index of the currently
+activated row and drives the corresponding matchlines high on an exact
+match (Section 5.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import mask_of
+
+__all__ = ["MatchLogic", "MatchResult"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of comparing one activated row index against the input vector."""
+
+    row_index: int
+    matches: np.ndarray  # boolean mask, one entry per source element
+
+    @property
+    def match_count(self) -> int:
+        """Number of source elements that matched this row index."""
+        return int(np.count_nonzero(self.matches))
+
+    @property
+    def any_match(self) -> bool:
+        """Whether at least one comparator fired."""
+        return bool(self.matches.any())
+
+
+class MatchLogic:
+    """A bank of per-element comparators.
+
+    Parameters
+    ----------
+    num_comparators:
+        Number of element slots in the source row buffer (row size divided
+        by the LUT element width).
+    index_bits:
+        Comparator width; indices and row numbers are compared modulo
+        ``2**index_bits`` because the source elements are exactly that wide.
+    """
+
+    def __init__(self, num_comparators: int, index_bits: int) -> None:
+        if num_comparators <= 0:
+            raise ConfigurationError("need at least one comparator")
+        if index_bits <= 0:
+            raise ConfigurationError("comparator width must be positive")
+        self.num_comparators = num_comparators
+        self.index_bits = index_bits
+        #: Total comparisons performed (used by tests / energy accounting).
+        self.comparisons = 0
+
+    def compare(self, input_indices: np.ndarray, row_index: int) -> MatchResult:
+        """Compare every input index against the activated row's index."""
+        input_indices = np.asarray(input_indices, dtype=np.uint64)
+        if input_indices.size != self.num_comparators:
+            raise ConfigurationError(
+                f"expected {self.num_comparators} input indices, "
+                f"got {input_indices.size}"
+            )
+        if row_index < 0:
+            raise ConfigurationError("row index must be non-negative")
+        mask = np.uint64(mask_of(self.index_bits))
+        matches = (input_indices & mask) == np.uint64(row_index & mask_of(self.index_bits))
+        self.comparisons += self.num_comparators
+        return MatchResult(row_index=row_index, matches=matches)
+
+    def match_histogram(
+        self, input_indices: np.ndarray, num_rows: int
+    ) -> np.ndarray:
+        """Number of matches each row index would produce over a full sweep.
+
+        Useful for verifying the invariant that every input element matches
+        exactly one row during a complete sweep of a ``2**index_bits``-entry
+        LUT.
+        """
+        histogram = np.zeros(num_rows, dtype=np.int64)
+        for row_index in range(num_rows):
+            histogram[row_index] = self.compare(input_indices, row_index).match_count
+        return histogram

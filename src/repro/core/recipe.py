@@ -1,0 +1,130 @@
+"""Workload recipes: the in-memory command mix of one workload.
+
+A :class:`WorkloadRecipe` describes, independently of any specific memory
+configuration, what a workload asks pLUTo to do per *row* of input
+elements: how many LUT queries (and of what size), how many Ambit bitwise
+operations, how many DRISA shift commands, and how many LISA row moves.
+It also carries the properties the baseline models need (arithmetic
+intensity and the serial, non-offloadable fraction of the work).
+
+The engine (:mod:`repro.core.engine`) turns a recipe plus an input size
+into latency and energy for a given pLUTo configuration; the baseline
+models turn the same recipe into CPU/GPU/FPGA/PnM costs.  Keeping both
+sides keyed on one recipe object is what makes the relative comparisons in
+Figures 7-10 internally consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["WorkloadRecipe"]
+
+
+@dataclass(frozen=True)
+class WorkloadRecipe:
+    """Per-row in-memory command mix and host-side characteristics.
+
+    Attributes
+    ----------
+    name:
+        Workload identifier (matches the paper's figure labels).
+    element_bits:
+        Width of one input element as laid out in the source row.  This
+        determines how many elements one ``pluto_op`` processes.
+    sweeps_per_row:
+        LUT sizes (number of entries, i.e. rows swept) of each ``pluto_op``
+        applied to every row of input.
+    luts_loaded:
+        Sizes of the distinct LUTs that must be present in pLUTo-enabled
+        subarrays before the workload runs (loaded once for BSA/GMC).
+    bitwise_aaps_per_row:
+        Number of Ambit AAP sequences per input row (operand merge, masks).
+    shift_commands_per_row:
+        Number of DRISA shift commands per input row (operand alignment).
+    moves_per_row:
+        Number of LISA row moves per input row (result placement).
+    output_bits_per_element:
+        Width of the produced element (used for output-traffic estimates).
+    cpu_ops_per_element:
+        Effective scalar operations the measured CPU implementation spends
+        per element, including library and data-layout overheads (baseline
+        model input for the CPU and GPU).
+    kernel_ops_per_element:
+        Pure algorithmic operations per element, with no library overhead.
+        Used by the FPGA (whose HLS pipeline implements exactly the kernel)
+        and the PnM logic-layer core.  Defaults to ``cpu_ops_per_element``.
+    simd_efficiency:
+        Fraction of a processor's peak integer throughput these operations
+        actually achieve.  Streaming, vectorisable kernels (image ops,
+        element-wise arithmetic) sit near 1.0; kernels dominated by
+        serially dependent table lookups (CRC, VMPC) sit well below 0.2.
+    bytes_per_element:
+        Bytes of memory traffic per element on a processor-centric system
+        (input + output + intermediate traffic).
+    serial_fraction:
+        Fraction of total work that is inherently serial and cannot be
+        offloaded to pLUTo (e.g. the CRC reduction step).  Applied with
+        Amdahl's law by the evaluation layer.
+    """
+
+    name: str
+    element_bits: int
+    sweeps_per_row: tuple[int, ...] = field(default_factory=tuple)
+    luts_loaded: tuple[int, ...] = field(default_factory=tuple)
+    bitwise_aaps_per_row: int = 0
+    shift_commands_per_row: int = 0
+    moves_per_row: int = 1
+    output_bits_per_element: int = 8
+    cpu_ops_per_element: float = 1.0
+    kernel_ops_per_element: float | None = None
+    simd_efficiency: float = 1.0
+    bytes_per_element: float = 2.0
+    serial_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.element_bits <= 0:
+            raise ConfigurationError(f"{self.name}: element_bits must be positive")
+        if any(entries <= 0 for entries in self.sweeps_per_row):
+            raise ConfigurationError(f"{self.name}: sweep sizes must be positive")
+        if any(entries <= 0 for entries in self.luts_loaded):
+            raise ConfigurationError(f"{self.name}: LUT sizes must be positive")
+        if self.bitwise_aaps_per_row < 0 or self.shift_commands_per_row < 0:
+            raise ConfigurationError(f"{self.name}: command counts must be >= 0")
+        if self.moves_per_row < 0:
+            raise ConfigurationError(f"{self.name}: move count must be >= 0")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise ConfigurationError(
+                f"{self.name}: serial fraction must be in [0, 1)"
+            )
+        if self.cpu_ops_per_element <= 0 or self.bytes_per_element <= 0:
+            raise ConfigurationError(
+                f"{self.name}: baseline characteristics must be positive"
+            )
+        if not 0.0 < self.simd_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: SIMD efficiency must be in (0, 1]"
+            )
+        if self.kernel_ops_per_element is not None and self.kernel_ops_per_element <= 0:
+            raise ConfigurationError(
+                f"{self.name}: kernel_ops_per_element must be positive"
+            )
+
+    @property
+    def effective_kernel_ops(self) -> float:
+        """Kernel operation count per element (defaults to the CPU count)."""
+        if self.kernel_ops_per_element is not None:
+            return self.kernel_ops_per_element
+        return self.cpu_ops_per_element
+
+    @property
+    def total_sweep_rows(self) -> int:
+        """Total rows activated by all sweeps applied to one input row."""
+        return sum(self.sweeps_per_row)
+
+    @property
+    def uses_lut_queries(self) -> bool:
+        """Whether the workload performs any pLUTo LUT queries at all."""
+        return bool(self.sweeps_per_row)

@@ -1,0 +1,204 @@
+"""The pLUTo-enabled subarray.
+
+A pLUTo-enabled subarray wraps a plain DRAM subarray with the structures
+of Figure 2: the vertically replicated LUT rows, the pLUTo-enabled row
+decoder (row sweeping), the match logic, and the design-specific output
+capture path (FF buffer for BSA, gated sense amplifiers for GSA/GMC).
+
+The functional behaviour differs per design exactly as Section 5 describes:
+
+* **BSA** — every swept row is fully activated and precharged; matched
+  elements are copied into the FF buffer; the LUT stays intact.
+* **GSA** — unmatched bitlines are isolated from their sense amplifiers, so
+  every swept row's cells lose their charge (destructive read) and the LUT
+  must be reloaded before the next query; matched elements are captured in
+  the sense amplifiers.
+* **GMC** — unmatched cells never share charge (the per-cell gate stays
+  open), so the LUT survives; matched elements are captured in the sense
+  amplifiers; no per-activation precharge is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.designs import DESIGN_PROPERTIES, PlutoDesign
+from repro.core.ff_buffer import FFBuffer
+from repro.core.lut import LookupTable, replicate_lut_rows
+from repro.core.match_logic import MatchLogic
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.refresh import RowStepper
+from repro.dram.subarray import Subarray
+from repro.errors import LUTError, SubarrayStateError
+from repro.utils.bitops import unpack_elements
+
+__all__ = ["PlutoSubarray", "SweepStatistics"]
+
+
+@dataclass
+class SweepStatistics:
+    """Counters produced by one pLUTo Row Sweep."""
+
+    rows_activated: int = 0
+    matches: int = 0
+    comparisons: int = 0
+    lut_reloaded: bool = False
+
+
+class PlutoSubarray:
+    """A DRAM subarray extended with pLUTo's LUT-query machinery."""
+
+    def __init__(
+        self,
+        geometry: DRAMGeometry,
+        design: PlutoDesign,
+        *,
+        index: int = 0,
+    ) -> None:
+        self.geometry = geometry
+        self.design = design
+        self.properties = DESIGN_PROPERTIES[design]
+        self.storage = Subarray(geometry, index=index)
+        self.stepper = RowStepper(geometry.rows_per_subarray)
+        self._lut: LookupTable | None = None
+        self._lut_base_row = 0
+        self._lut_rows: np.ndarray | None = None
+        self._lut_valid = False
+        #: Cumulative statistics across all sweeps (tests and reporting).
+        self.total_sweeps = 0
+        self.total_lut_loads = 0
+
+    # ------------------------------------------------------------------ #
+    # LUT loading (Section 6.5)
+    # ------------------------------------------------------------------ #
+    @property
+    def lut(self) -> LookupTable | None:
+        """The currently loaded LUT, if any."""
+        return self._lut
+
+    @property
+    def lut_valid(self) -> bool:
+        """Whether the in-array LUT copy is intact (GSA destroys it per query)."""
+        return self._lut_valid
+
+    def load_lut(self, lut: LookupTable, base_row: int = 0) -> int:
+        """Store the vertically replicated LUT into the subarray.
+
+        Returns the number of rows written (one per LUT entry).  This models
+        the ``pluto_subarray_alloc`` + LUT-loading step; its cost is
+        accounted for by the engine, not here.
+        """
+        rows = replicate_lut_rows(lut, self.geometry)
+        if base_row + rows.shape[0] > self.geometry.rows_per_subarray:
+            raise LUTError(
+                f"LUT {lut.name!r} with {rows.shape[0]} rows does not fit at "
+                f"base row {base_row}"
+            )
+        self.storage.load_rows(base_row, rows)
+        self._lut = lut
+        self._lut_base_row = base_row
+        self._lut_rows = rows
+        self._lut_valid = True
+        self.total_lut_loads += 1
+        return rows.shape[0]
+
+    def reload_lut(self) -> int:
+        """Re-store the previously loaded LUT (after a destructive GSA sweep)."""
+        if self._lut is None or self._lut_rows is None:
+            raise LUTError("no LUT has been loaded into this subarray")
+        self.storage.load_rows(self._lut_base_row, self._lut_rows)
+        self._lut_valid = True
+        self.total_lut_loads += 1
+        return self._lut_rows.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # The pLUTo LUT Query (Section 4.1)
+    # ------------------------------------------------------------------ #
+    def elements_per_query(self) -> int:
+        """Number of LUT indices processed per query (one source row's worth)."""
+        if self._lut is None:
+            raise LUTError("load a LUT before querying")
+        return self.geometry.elements_per_row(self._lut.element_bits)
+
+    def query_row(self, source_row: np.ndarray) -> tuple[np.ndarray, SweepStatistics]:
+        """Execute one pLUTo LUT Query against a packed source row.
+
+        ``source_row`` is the source subarray's row-buffer contents: packed
+        LUT indices, each ``index_bits`` wide but stored in element-width
+        slots (zero-padded), exactly as ``pluto_op`` defines.  The return
+        value is the packed output row (the LUT query output vector) and the
+        sweep statistics.
+        """
+        if self._lut is None:
+            raise LUTError("load a LUT before querying")
+        if not self._lut_valid:
+            raise SubarrayStateError(
+                "the in-array LUT copy was destroyed by a previous pLUTo-GSA "
+                "sweep; reload it before querying again"
+            )
+        lut = self._lut
+        num_elements = self.elements_per_query()
+        indices = unpack_elements(source_row, lut.element_bits, num_elements)
+        if indices.size and int(indices.max()) >= lut.num_entries:
+            raise LUTError(
+                f"source row contains index {int(indices.max())} outside the "
+                f"{lut.num_entries}-entry LUT {lut.name!r}"
+            )
+
+        match_logic = MatchLogic(num_elements, lut.index_bits)
+        output = FFBuffer(num_elements, lut.element_bits)
+        statistics = SweepStatistics()
+
+        sweep_rows = self.stepper.sweep_order(self._lut_base_row, lut.num_entries)
+        for offset, row in enumerate(sweep_rows):
+            restore = not self.properties.destructive_reads
+            row_data = self.storage.activate(row, restore=restore)
+            self.storage.precharge()
+            statistics.rows_activated += 1
+            result = match_logic.compare(indices, offset)
+            statistics.comparisons += num_elements
+            if result.any_match:
+                row_elements = unpack_elements(row_data, lut.element_bits, num_elements)
+                statistics.matches += output.capture_vector(row_elements, result.matches)
+
+        if self.properties.destructive_reads:
+            self._lut_valid = False
+            statistics.lut_reloaded = False
+        if not output.complete:
+            raise LUTError(
+                "pLUTo LUT Query finished with uncaptured output positions; "
+                "this indicates a source index outside the swept row range"
+            )
+        self.total_sweeps += 1
+        return output.to_row(self.geometry.row_size_bytes), statistics
+
+    def query_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Convenience wrapper: query a plain index vector, return element values.
+
+        Pads the vector to a full row, performs the in-array query, and
+        returns the first ``len(indices)`` output elements.
+        """
+        from repro.utils.bitops import pack_elements
+
+        if self._lut is None:
+            raise LUTError("load a LUT before querying")
+        lut = self._lut
+        capacity = self.elements_per_query()
+        indices = np.asarray(indices, dtype=np.uint64)
+        if indices.size > capacity:
+            raise LUTError(
+                f"{indices.size} indices exceed the {capacity}-element row capacity"
+            )
+        if indices.size and int(indices.max()) >= lut.num_entries:
+            raise LUTError(
+                f"query index {int(indices.max())} outside the "
+                f"{lut.num_entries}-entry LUT {lut.name!r}"
+            )
+        padded = np.zeros(capacity, dtype=np.uint64)
+        padded[: indices.size] = indices
+        source_row = pack_elements(padded, lut.element_bits, self.geometry.row_size_bytes)
+        output_row, _ = self.query_row(source_row)
+        values = unpack_elements(output_row, lut.element_bits, capacity)
+        return values[: indices.size]

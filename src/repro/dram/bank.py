@@ -1,0 +1,77 @@
+"""Functional model of a DRAM bank.
+
+A bank is a collection of subarrays that share a global row decoder and a
+global row buffer (Figure 1c).  With MASA/SALP, multiple subarrays in the
+same bank can have rows open simultaneously; the bank therefore delegates
+open-row state to its subarrays and only enforces per-bank constraints
+(subarray index ranges and global-buffer arbitration).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.subarray import Subarray
+from repro.errors import ConfigurationError
+
+__all__ = ["Bank"]
+
+
+class Bank:
+    """A DRAM bank: ``subarrays_per_bank`` independent subarrays."""
+
+    def __init__(self, geometry: DRAMGeometry, index: int = 0) -> None:
+        self.geometry = geometry
+        self.index = index
+        self.subarrays = [
+            Subarray(geometry, index=i) for i in range(geometry.subarrays_per_bank)
+        ]
+
+    def __iter__(self) -> Iterator[Subarray]:
+        return iter(self.subarrays)
+
+    def __len__(self) -> int:
+        return len(self.subarrays)
+
+    def subarray(self, index: int) -> Subarray:
+        """Return the subarray with the given index."""
+        if not 0 <= index < len(self.subarrays):
+            raise ConfigurationError(
+                f"subarray {index} out of range [0, {len(self.subarrays)})"
+            )
+        return self.subarrays[index]
+
+    @property
+    def open_subarrays(self) -> list[int]:
+        """Indices of subarrays that currently have an open row (SALP)."""
+        return [s.index for s in self.subarrays if not s.is_precharged]
+
+    def precharge_all(self) -> None:
+        """Precharge every subarray in the bank."""
+        for subarray in self.subarrays:
+            subarray.precharge()
+
+    # ------------------------------------------------------------------ #
+    # Row-level convenience accessors (activate + read/write + precharge)
+    # ------------------------------------------------------------------ #
+    def read_row(self, subarray: int, row: int) -> np.ndarray:
+        """Activate, read, and precharge a row (a full RD access)."""
+        target = self.subarray(subarray)
+        data = target.activate(row)
+        target.precharge()
+        return data
+
+    def write_row(self, subarray: int, row: int, data: np.ndarray) -> None:
+        """Activate, overwrite, and precharge a row (a full WR access)."""
+        target = self.subarray(subarray)
+        target.activate(row)
+        target.write_buffer(np.asarray(data, dtype=np.uint8))
+        target.precharge()
+
+    @property
+    def total_activations(self) -> int:
+        """Sum of activation counts across all subarrays."""
+        return sum(s.activation_count for s in self.subarrays)

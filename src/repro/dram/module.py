@@ -1,0 +1,118 @@
+"""Functional model of a whole DRAM module.
+
+The module composes banks, an address mapper, timing and energy parameter
+sets, and exposes byte-addressed read/write used by the host-side parts of
+the workloads (e.g. loading LUT query inputs, reading back results).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.address import AddressMapper, RowAddress
+from repro.dram.bank import Bank
+from repro.dram.energy import DDR4_ENERGY, EnergyParameters
+from repro.dram.geometry import DDR4_8GB, DRAMGeometry
+from repro.dram.timing import DDR4_2400, TimingParameters
+from repro.errors import AddressError, ConfigurationError
+
+__all__ = ["DRAMModule"]
+
+
+class DRAMModule:
+    """A functional DRAM module with timing/energy metadata attached."""
+
+    def __init__(
+        self,
+        geometry: DRAMGeometry = DDR4_8GB,
+        timing: TimingParameters = DDR4_2400,
+        energy: EnergyParameters = DDR4_ENERGY,
+        *,
+        instantiate_banks: int | None = None,
+    ) -> None:
+        """Create a module.
+
+        ``instantiate_banks`` limits how many banks get functional storage.
+        The full 8 GB module would need 8 GB of host memory to model
+        bit-accurately; workloads only ever touch a handful of banks, so by
+        default only the first two banks are materialised and accesses to
+        other banks raise :class:`AddressError`.
+        """
+        self.geometry = geometry
+        self.timing = timing
+        self.energy = energy
+        self.mapper = AddressMapper(geometry)
+        if instantiate_banks is None:
+            instantiate_banks = min(2, geometry.total_banks)
+        if not 1 <= instantiate_banks <= geometry.total_banks:
+            raise ConfigurationError(
+                f"instantiate_banks must be in [1, {geometry.total_banks}]"
+            )
+        self.banks = [Bank(geometry, index=i) for i in range(instantiate_banks)]
+
+    # ------------------------------------------------------------------ #
+    # Structure access
+    # ------------------------------------------------------------------ #
+    def bank(self, index: int) -> Bank:
+        """Return a materialised bank."""
+        if not 0 <= index < len(self.banks):
+            raise AddressError(
+                f"bank {index} is not materialised "
+                f"(only {len(self.banks)} of {self.geometry.total_banks} banks "
+                "are instantiated)"
+            )
+        return self.banks[index]
+
+    def subarray(self, bank: int, subarray: int):
+        """Return a subarray by (bank, subarray) coordinates."""
+        return self.bank(bank).subarray(subarray)
+
+    # ------------------------------------------------------------------ #
+    # Row-level access by decoded address
+    # ------------------------------------------------------------------ #
+    def read_row(self, address: RowAddress) -> np.ndarray:
+        """Read a full row (activate + read + precharge)."""
+        return self.bank(address.bank).read_row(address.subarray, address.row)
+
+    def write_row(self, address: RowAddress, data: np.ndarray) -> None:
+        """Write a full row (activate + write + precharge)."""
+        self.bank(address.bank).write_row(address.subarray, address.row, data)
+
+    # ------------------------------------------------------------------ #
+    # Byte-addressed access (host view)
+    # ------------------------------------------------------------------ #
+    def read_bytes(self, byte_address: int, length: int) -> np.ndarray:
+        """Read ``length`` bytes starting at a physical byte address."""
+        if length < 0:
+            raise AddressError("length must be non-negative")
+        out = np.zeros(length, dtype=np.uint8)
+        cursor = 0
+        while cursor < length:
+            row_address, column = self.mapper.decode_byte(byte_address + cursor)
+            row = self.read_row(row_address)
+            chunk = min(length - cursor, self.geometry.row_size_bytes - column)
+            out[cursor : cursor + chunk] = row[column : column + chunk]
+            cursor += chunk
+        return out
+
+    def write_bytes(self, byte_address: int, data: np.ndarray) -> None:
+        """Write bytes starting at a physical byte address."""
+        data = np.asarray(data, dtype=np.uint8)
+        cursor = 0
+        while cursor < data.size:
+            row_address, column = self.mapper.decode_byte(byte_address + cursor)
+            bank = self.bank(row_address.bank)
+            target = bank.subarray(row_address.subarray)
+            row = target.peek_row(row_address.row)
+            chunk = min(data.size - cursor, self.geometry.row_size_bytes - column)
+            row[column : column + chunk] = data[cursor : cursor + chunk]
+            target.load_row(row_address.row, row)
+            cursor += chunk
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def total_activations(self) -> int:
+        """Total activation count across all materialised banks."""
+        return sum(bank.total_activations for bank in self.banks)

@@ -1,0 +1,72 @@
+"""DRAM refresh overhead model.
+
+pLUTo's Row Sweep reuses the self-refresh row-stepping machinery already
+present in commodity DRAM (Section 5.1.1).  This module models the ordinary
+refresh duty cycle so end-to-end workload times can optionally account for
+the bandwidth lost to refresh, and provides the row-stepping abstraction the
+pLUTo-enabled row decoder builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import TimingParameters
+from repro.errors import ConfigurationError
+
+__all__ = ["RefreshModel", "RowStepper"]
+
+
+@dataclass(frozen=True)
+class RefreshModel:
+    """Refresh duty-cycle model based on tREFI/tRFC."""
+
+    timing: TimingParameters
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of time the device is unavailable due to refresh."""
+        if self.timing.t_refi <= 0:
+            return 0.0
+        return min(1.0, self.timing.t_rfc / self.timing.t_refi)
+
+    def inflate_latency(self, latency_ns: float) -> float:
+        """Scale a latency to account for refresh stalls."""
+        if latency_ns < 0:
+            raise ConfigurationError("latency must be non-negative")
+        available = 1.0 - self.overhead_fraction
+        if available <= 0:
+            raise ConfigurationError("refresh overhead leaves no usable time")
+        return latency_ns / available
+
+    def refreshes_during(self, latency_ns: float) -> int:
+        """Number of refresh commands that fall within a duration."""
+        if self.timing.t_refi <= 0:
+            return 0
+        return int(latency_ns // self.timing.t_refi)
+
+
+class RowStepper:
+    """Successive-row activation order generator.
+
+    Commodity DRAM steps through rows during self-refresh; the pLUTo Row
+    Sweep extends this to activate ``count`` consecutive rows starting at a
+    base row.  The stepper produces that order and guards against walking
+    off the end of the subarray.
+    """
+
+    def __init__(self, rows_per_subarray: int) -> None:
+        if rows_per_subarray <= 0:
+            raise ConfigurationError("rows_per_subarray must be positive")
+        self.rows_per_subarray = rows_per_subarray
+
+    def sweep_order(self, start_row: int, count: int) -> list[int]:
+        """Return the ordered list of row indices for a sweep."""
+        if count <= 0:
+            raise ConfigurationError("sweep count must be positive")
+        if start_row < 0 or start_row + count > self.rows_per_subarray:
+            raise ConfigurationError(
+                f"sweep [{start_row}, {start_row + count}) exceeds subarray of "
+                f"{self.rows_per_subarray} rows"
+            )
+        return list(range(start_row, start_row + count))

@@ -1,0 +1,173 @@
+"""Functional (bit-accurate) model of a DRAM subarray.
+
+A subarray stores ``rows_per_subarray`` rows of ``row_size_bytes`` bytes and
+owns a local row buffer (the sense amplifiers).  The model reproduces the
+three-phase access protocol of Section 2.1:
+
+* ``activate(row)`` latches the row's contents into the row buffer and
+  (by default) restores the cells — charge restoration is what makes DRAM
+  reads non-destructive.  The pLUTo-GSA design disables restoration for
+  unmatched bitlines, which the pLUTo-enabled subarray models by calling
+  :meth:`activate` with ``restore=False``.
+* ``precharge()`` closes the row and clears the "open" state.
+* ``read_buffer()`` / ``write_buffer()`` access the row buffer; writes are
+  propagated to the open row, as in real DRAM where the bitline drives the
+  cell while the wordline is asserted.
+
+State-machine violations raise :class:`SubarrayStateError` so higher layers
+(the controllers) are forced to issue legal command sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dram.geometry import DRAMGeometry
+from repro.errors import ConfigurationError, SubarrayStateError
+
+__all__ = ["Subarray"]
+
+
+class Subarray:
+    """Bit-accurate storage and row-buffer model of one DRAM subarray."""
+
+    def __init__(self, geometry: DRAMGeometry, index: int = 0) -> None:
+        self.geometry = geometry
+        self.index = index
+        self._rows = np.zeros(
+            (geometry.rows_per_subarray, geometry.row_size_bytes), dtype=np.uint8
+        )
+        self._row_buffer = np.zeros(geometry.row_size_bytes, dtype=np.uint8)
+        self._open_row: Optional[int] = None
+        #: Rows whose cell contents were destroyed by a non-restoring
+        #: activation (pLUTo-GSA semantics) and must be reloaded before use.
+        self._invalid_rows: set[int] = set()
+        #: Statistics used by tests and the evaluation harness.
+        self.activation_count = 0
+        self.precharge_count = 0
+
+    # ------------------------------------------------------------------ #
+    # State queries
+    # ------------------------------------------------------------------ #
+    @property
+    def open_row(self) -> Optional[int]:
+        """Index of the currently open row, or ``None`` if precharged."""
+        return self._open_row
+
+    @property
+    def is_precharged(self) -> bool:
+        """Whether the subarray is in the precharged state."""
+        return self._open_row is None
+
+    def row_is_valid(self, row: int) -> bool:
+        """Whether the given row still holds valid data."""
+        self._check_row(row)
+        return row not in self._invalid_rows
+
+    # ------------------------------------------------------------------ #
+    # DRAM protocol
+    # ------------------------------------------------------------------ #
+    def activate(self, row: int, *, restore: bool = True) -> np.ndarray:
+        """Activate ``row``: latch it into the row buffer.
+
+        With ``restore=True`` (normal DRAM) the cells keep their value.
+        With ``restore=False`` (a gated, non-restoring activation as in
+        pLUTo-GSA) the row's cells are marked invalid: the charge was shared
+        with the bitline but never restored.
+        """
+        self._check_row(row)
+        if self._open_row is not None:
+            raise SubarrayStateError(
+                f"subarray {self.index}: cannot activate row {row}; "
+                f"row {self._open_row} is still open (precharge first)"
+            )
+        if row in self._invalid_rows:
+            raise SubarrayStateError(
+                f"subarray {self.index}: row {row} was destroyed by a "
+                "non-restoring activation and must be rewritten before use"
+            )
+        self._row_buffer[:] = self._rows[row]
+        self._open_row = row
+        self.activation_count += 1
+        if not restore:
+            self._rows[row] = 0
+            self._invalid_rows.add(row)
+        return self._row_buffer.copy()
+
+    def precharge(self) -> None:
+        """Precharge the subarray (close the open row)."""
+        if self._open_row is None:
+            # Precharging an already-precharged subarray is legal (NOP-like)
+            # and happens at the end of GSA/GMC sweeps.
+            self.precharge_count += 1
+            return
+        self._open_row = None
+        self.precharge_count += 1
+
+    def read_buffer(self) -> np.ndarray:
+        """Return a copy of the local row buffer contents."""
+        if self._open_row is None:
+            raise SubarrayStateError(
+                f"subarray {self.index}: cannot read the row buffer while precharged"
+            )
+        return self._row_buffer.copy()
+
+    def write_buffer(self, data: np.ndarray) -> None:
+        """Overwrite the row buffer; the open row is updated as well."""
+        if self._open_row is None:
+            raise SubarrayStateError(
+                f"subarray {self.index}: cannot write the row buffer while precharged"
+            )
+        data = self._coerce_row(data)
+        self._row_buffer[:] = data
+        self._rows[self._open_row] = data
+        self._invalid_rows.discard(self._open_row)
+
+    # ------------------------------------------------------------------ #
+    # Direct (out-of-band) access used for initialisation and checking
+    # ------------------------------------------------------------------ #
+    def load_row(self, row: int, data: np.ndarray) -> None:
+        """Directly store ``data`` into ``row`` (models a prior WR/copy)."""
+        self._check_row(row)
+        self._rows[row] = self._coerce_row(data)
+        self._invalid_rows.discard(row)
+
+    def peek_row(self, row: int) -> np.ndarray:
+        """Return a copy of a row's stored contents without activating it."""
+        self._check_row(row)
+        return self._rows[row].copy()
+
+    def load_rows(self, first_row: int, data: np.ndarray) -> None:
+        """Store a 2-D array of rows starting at ``first_row``."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[1] != self.geometry.row_size_bytes:
+            raise ConfigurationError(
+                "load_rows expects shape (n, row_size_bytes), got "
+                f"{data.shape}"
+            )
+        last = first_row + data.shape[0] - 1
+        self._check_row(first_row)
+        self._check_row(last)
+        self._rows[first_row : last + 1] = data
+        for row in range(first_row, last + 1):
+            self._invalid_rows.discard(row)
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.geometry.rows_per_subarray:
+            raise ConfigurationError(
+                f"row {row} out of range [0, {self.geometry.rows_per_subarray})"
+            )
+
+    def _coerce_row(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (self.geometry.row_size_bytes,):
+            raise ConfigurationError(
+                f"row data must have shape ({self.geometry.row_size_bytes},), "
+                f"got {data.shape}"
+            )
+        return data

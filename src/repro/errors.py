@@ -1,0 +1,45 @@
+"""Exception hierarchy for the pLUTo reproduction.
+
+All package-specific exceptions derive from :class:`ReproError` so callers
+can catch everything raised by this library with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class AddressError(ReproError):
+    """A physical or logical DRAM address is invalid."""
+
+
+class TimingViolationError(ReproError):
+    """A DRAM command violates a timing constraint (e.g. tRCD, tFAW)."""
+
+
+class SubarrayStateError(ReproError):
+    """A DRAM subarray operation is illegal in its current state."""
+
+
+class AllocationError(ReproError):
+    """pLUTo register / row / subarray allocation failed."""
+
+
+class CompilationError(ReproError):
+    """The pLUTo compiler could not lower an API program to ISA."""
+
+
+class ExecutionError(ReproError):
+    """The pLUTo controller failed while executing an ISA program."""
+
+
+class LUTError(ReproError):
+    """A lookup table is malformed or incompatible with the operation."""
+
+
+class WorkloadError(ReproError):
+    """A workload was configured with invalid parameters."""

@@ -1,0 +1,53 @@
+"""Evaluation harness: one entry point per paper figure/table."""
+
+from repro.evaluation.figures import (
+    FigureResult,
+    figure06_bitline_reliability,
+    figure07_speedup_over_cpu,
+    figure08_speedup_per_area,
+    figure09_speedup_over_fpga,
+    figure10_energy_over_cpu,
+    figure11_lut_loading,
+    figure12_scalability,
+    figure13_tfaw_sensitivity,
+    figure14_salp_scaling,
+)
+from repro.evaluation.harness import (
+    PLUTO_CONFIG_LABELS,
+    EvaluationHarness,
+    WorkloadResult,
+    default_pluto_configs,
+)
+from repro.evaluation.reporting import format_rows, render_markdown_table, render_result
+from repro.evaluation.tables import (
+    TableResult,
+    table01_design_comparison,
+    table05_area_breakdown,
+    table06_prior_pum_comparison,
+    table07_qnn_inference,
+)
+
+__all__ = [
+    "FigureResult",
+    "figure06_bitline_reliability",
+    "figure07_speedup_over_cpu",
+    "figure08_speedup_per_area",
+    "figure09_speedup_over_fpga",
+    "figure10_energy_over_cpu",
+    "figure11_lut_loading",
+    "figure12_scalability",
+    "figure13_tfaw_sensitivity",
+    "figure14_salp_scaling",
+    "PLUTO_CONFIG_LABELS",
+    "EvaluationHarness",
+    "WorkloadResult",
+    "default_pluto_configs",
+    "format_rows",
+    "render_markdown_table",
+    "render_result",
+    "TableResult",
+    "table01_design_comparison",
+    "table05_area_breakdown",
+    "table06_prior_pum_comparison",
+    "table07_qnn_inference",
+]

@@ -1,0 +1,373 @@
+"""One function per evaluation figure of the paper.
+
+Every function returns a :class:`FigureResult` whose rows carry the same
+series the corresponding figure plots, so benchmarks, tests, and the
+EXPERIMENTS.md generator all consume one representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.pnm import HMC_PNM
+from repro.baselines.prior_pum import SIMDRAM
+from repro.circuit.montecarlo import MonteCarloConfig, MonteCarloRunner
+from repro.core.analytical import PlutoCostModel
+from repro.core.area import AreaModel
+from repro.core.designs import PlutoDesign
+from repro.core.engine import DDR4, THREE_DS, PlutoConfig, PlutoEngine
+from repro.dram.energy import DDR4_ENERGY
+from repro.dram.timing import DDR4_2400
+from repro.evaluation.harness import EvaluationHarness, default_pluto_configs
+from repro.utils.units import geometric_mean
+from repro.workloads.registry import figure7_workloads, figure9_workloads
+
+__all__ = [
+    "FigureResult",
+    "figure06_bitline_reliability",
+    "figure07_speedup_over_cpu",
+    "figure08_speedup_per_area",
+    "figure09_speedup_over_fpga",
+    "figure10_energy_over_cpu",
+    "figure11_lut_loading",
+    "figure12_scalability",
+    "figure13_tfaw_sensitivity",
+    "figure14_salp_scaling",
+]
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: named rows of numeric series."""
+
+    name: str
+    description: str
+    rows: list[dict] = field(default_factory=list)
+
+    def column(self, key: str) -> list:
+        """Extract one column across all rows."""
+        return [row[key] for row in self.rows]
+
+
+# --------------------------------------------------------------------- #
+# Figure 6 — bitline reliability (SPICE substitute)
+# --------------------------------------------------------------------- #
+def figure06_bitline_reliability(runs: int = 100, seed: int = 2022) -> FigureResult:
+    """Monte-Carlo activation study for the baseline and the three designs."""
+    runner = MonteCarloRunner(MonteCarloConfig(runs=runs, seed=seed))
+    result = FigureResult(
+        name="Figure 6",
+        description="Bitline voltage settling under 5% process variation",
+    )
+    for design, outcome in runner.run_all().items():
+        margins = [t.sensing_margin for t in outcome.transients]
+        result.rows.append(
+            {
+                "design": design,
+                "runs": len(outcome.transients),
+                "all_settled": outcome.all_settled,
+                "max_disturbance_fraction": outcome.max_disturbance_fraction,
+                "min_sensing_margin_v": float(np.min(margins)),
+            }
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Figures 7 / 8 / 10 — speedup and energy over the CPU baseline
+# --------------------------------------------------------------------- #
+def _cpu_relative_harness() -> tuple[EvaluationHarness, list]:
+    return EvaluationHarness(), figure7_workloads()
+
+
+def figure07_speedup_over_cpu(scale: float = 1.0) -> FigureResult:
+    """Speedup of GPU, PnM, and the six pLUTo configurations over the CPU."""
+    harness, workloads = _cpu_relative_harness()
+    result = FigureResult(
+        name="Figure 7",
+        description="Speedup over the CPU baseline (higher is better)",
+    )
+    labels = list(default_pluto_configs())
+    accumulators: dict[str, list[float]] = {label: [] for label in ["GPU", "PnM"] + labels}
+    for workload in workloads:
+        elements = max(1, int(workload.default_elements * scale))
+        evaluation = harness.evaluate(workload, elements)
+        row = {
+            "workload": workload.name,
+            "GPU": evaluation.gpu_speedup_over_cpu,
+            "PnM": evaluation.pnm_speedup_over_cpu,
+        }
+        for label in labels:
+            row[label] = evaluation.speedup_over_cpu(label)
+        for key, values in accumulators.items():
+            values.append(row[key])
+        result.rows.append(row)
+    gmean_row = {"workload": "GMEAN"}
+    gmean_row.update({key: geometric_mean(values) for key, values in accumulators.items()})
+    result.rows.append(gmean_row)
+    return result
+
+
+def figure08_speedup_per_area(scale: float = 1.0) -> FigureResult:
+    """Speedup over the CPU normalised to chip/board area."""
+    harness, workloads = _cpu_relative_harness()
+    area_model = AreaModel()
+    cpu_area = harness.cpu.area_mm2
+    gpu_area = harness.gpu.area_mm2
+    #: DDR4 pLUTo uses the modified DRAM chip area (Table 5); 3DS uses the
+    #: paper's 4.4 mm^2-per-vault logic overhead across 16 vaults.
+    pluto_area = {}
+    for label, config in default_pluto_configs().items():
+        if config.memory == THREE_DS:
+            pluto_area[label] = 4.4 * 16
+        else:
+            pluto_area[label] = area_model.breakdown(config.design).total
+    result = FigureResult(
+        name="Figure 8",
+        description="Speedup over the CPU per unit area (higher is better)",
+    )
+    labels = list(default_pluto_configs())
+    accumulators: dict[str, list[float]] = {label: [] for label in ["GPU"] + labels}
+    for workload in workloads:
+        elements = max(1, int(workload.default_elements * scale))
+        evaluation = harness.evaluate(workload, elements)
+        row = {
+            "workload": workload.name,
+            "GPU": evaluation.gpu_speedup_over_cpu * cpu_area / gpu_area,
+        }
+        for label in labels:
+            row[label] = evaluation.speedup_over_cpu(label) * cpu_area / pluto_area[label]
+        for key, values in accumulators.items():
+            values.append(row[key])
+        result.rows.append(row)
+    gmean_row = {"workload": "GMEAN"}
+    gmean_row.update({key: geometric_mean(values) for key, values in accumulators.items()})
+    result.rows.append(gmean_row)
+    return result
+
+
+def figure10_energy_over_cpu(scale: float = 1.0) -> FigureResult:
+    """CPU-normalised energy savings of the GPU and the pLUTo configurations."""
+    harness, workloads = _cpu_relative_harness()
+    result = FigureResult(
+        name="Figure 10",
+        description="CPU energy divided by system energy (higher is better)",
+    )
+    labels = list(default_pluto_configs())
+    accumulators: dict[str, list[float]] = {label: [] for label in ["GPU"] + labels}
+    for workload in workloads:
+        elements = max(1, int(workload.default_elements * scale))
+        evaluation = harness.evaluate(workload, elements)
+        row = {
+            "workload": workload.name,
+            "GPU": evaluation.gpu_energy_saving_over_cpu,
+        }
+        for label in labels:
+            row[label] = evaluation.energy_saving_over_cpu(label)
+        for key, values in accumulators.items():
+            values.append(row[key])
+        result.rows.append(row)
+    gmean_row = {"workload": "GMEAN"}
+    gmean_row.update({key: geometric_mean(values) for key, values in accumulators.items()})
+    result.rows.append(gmean_row)
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Figure 9 — comparison against the FPGA baseline
+# --------------------------------------------------------------------- #
+def figure09_speedup_over_fpga(scale: float = 1.0) -> FigureResult:
+    """Speedup of the six pLUTo configurations over the FPGA baseline."""
+    harness = EvaluationHarness()
+    result = FigureResult(
+        name="Figure 9",
+        description="Speedup over the FPGA baseline (higher is better)",
+    )
+    labels = list(default_pluto_configs())
+    accumulators: dict[str, list[float]] = {label: [] for label in labels}
+    for workload in figure9_workloads():
+        elements = max(1, int(min(workload.default_elements, 1 << 22) * scale))
+        evaluation = harness.evaluate(workload, elements)
+        row = {"workload": workload.name}
+        for label in labels:
+            row[label] = evaluation.speedup_over_fpga(label)
+            accumulators[label].append(row[label])
+        result.rows.append(row)
+    gmean_row = {"workload": "GMEAN"}
+    gmean_row.update({key: geometric_mean(values) for key, values in accumulators.items()})
+    result.rows.append(gmean_row)
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Figure 11 — LUT loading overhead
+# --------------------------------------------------------------------- #
+def figure11_lut_loading(
+    volumes_mb: tuple[float, ...] = (1, 2, 5, 10, 20, 40, 60, 80, 100, 120),
+    lut_entries: int = 256,
+) -> FigureResult:
+    """Fraction of total time spent loading LUTs, from DRAM and from an SSD."""
+    engine = PlutoEngine(PlutoConfig(design=PlutoDesign.BSA))
+    geometry = engine.geometry
+    lut_bytes = lut_entries * geometry.row_size_bytes
+    # Query throughput of the default 16-subarray pLUTo-BSA configuration.
+    query_latency_per_row = engine.cost_model.query_latency_ns(
+        PlutoDesign.BSA, lut_entries
+    )
+    elements_per_row = geometry.row_size_bytes  # 8-bit elements
+    bytes_per_ns = (
+        elements_per_row * engine.parallel_speedup() / query_latency_per_row
+    )
+    result = FigureResult(
+        name="Figure 11",
+        description="Fraction of execution time spent loading LUT data",
+    )
+    for source, bandwidth_gbps in (("DDR4", 19.2), ("SSD", 7.5)):
+        for volume_mb in volumes_mb:
+            volume_bytes = volume_mb * 1e6
+            load_ns = lut_bytes / bandwidth_gbps
+            query_ns = volume_bytes / bytes_per_ns
+            result.rows.append(
+                {
+                    "source": source,
+                    "volume_mb": volume_mb,
+                    "load_fraction": load_ns / (load_ns + query_ns),
+                }
+            )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Figure 12 — scalability of the LUT query / multiplication efficiency
+# --------------------------------------------------------------------- #
+def figure12_scalability(
+    lut_sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+    bit_widths: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+) -> FigureResult:
+    """(a) throughput/energy vs LUT size; (b) multiplication efficiency."""
+    model = PlutoCostModel(DDR4_2400, DDR4_ENERGY, 8192, rows_per_subarray=1024)
+    result = FigureResult(
+        name="Figure 12",
+        description="LUT-query scalability and multiplication energy efficiency",
+    )
+    for size in lut_sizes:
+        row = {"panel": "a", "lut_size": size}
+        for design in PlutoDesign:
+            row[f"{design.display_name}_throughput"] = model.throughput_queries_per_s(
+                design, size, 8
+            )
+            row[f"{design.display_name}_energy_j"] = (
+                model.query_energy_nj(design, size) * 1e-9
+            )
+        result.rows.append(row)
+
+    # Panel (b): multiplications per joule for pLUTo-BSA, SIMDRAM, and PnM.
+    for bits in bit_widths:
+        nibbles = max(1, -(-bits // 4))
+        partials = nibbles * nibbles
+        sweeps = 2 * partials - 1
+        pluto_energy_per_row = sweeps * model.query_energy_nj(PlutoDesign.BSA, 256)
+        elements_per_row = (8192 * 8) // (2 * bits)
+        pluto_ops_per_j = elements_per_row / (pluto_energy_per_row * 1e-9)
+
+        simdram_energy_per_row = SIMDRAM.multiplication_energy_nj(bits)
+        simdram_elements = (8192 * 8) // max(1, bits)  # bit-serial columns
+        simdram_ops_per_j = simdram_elements / (simdram_energy_per_row * 1e-9)
+
+        # PnM: each multiplication is executed by the logic-layer core.
+        pnm_energy_per_op = HMC_PNM.energy_per_op_nj * max(1.0, bits / 8.0) + 0.5
+        pnm_ops_per_j = 1.0 / (pnm_energy_per_op * 1e-9)
+
+        result.rows.append(
+            {
+                "panel": "b",
+                "bit_width": bits,
+                "pLUTo-BSA_ops_per_j": pluto_ops_per_j,
+                "SIMDRAM_ops_per_j": simdram_ops_per_j,
+                "PnM_ops_per_j": pnm_ops_per_j,
+            }
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Figure 13 — tFAW sensitivity
+# --------------------------------------------------------------------- #
+def figure13_tfaw_sensitivity(
+    fractions: tuple[float, ...] = (0.0, 0.5, 1.0), scale: float = 1.0
+) -> FigureResult:
+    """Performance relative to the unthrottled (tFAW = 0) configuration."""
+    workloads = figure7_workloads()
+    baseline = EvaluationHarness(tfaw_fraction=0.0)
+    result = FigureResult(
+        name="Figure 13",
+        description="Relative performance under tFAW activation throttling",
+    )
+    label = PlutoDesign.BSA.display_name
+    reference: dict[str, float] = {}
+    for workload in workloads:
+        elements = max(1, int(workload.default_elements * scale))
+        reference[workload.name] = baseline.evaluate(workload, elements).pluto_latency_ns(label)
+    for fraction in fractions:
+        harness = EvaluationHarness(tfaw_fraction=fraction)
+        relatives = []
+        for workload in workloads:
+            elements = max(1, int(workload.default_elements * scale))
+            latency = harness.evaluate(workload, elements).pluto_latency_ns(label)
+            relative = reference[workload.name] / latency
+            relatives.append(relative)
+            result.rows.append(
+                {
+                    "tfaw_fraction": fraction,
+                    "workload": workload.name,
+                    "relative_performance": relative,
+                }
+            )
+        result.rows.append(
+            {
+                "tfaw_fraction": fraction,
+                "workload": "GMEAN",
+                "relative_performance": geometric_mean(relatives),
+            }
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Figure 14 — subarray-level parallelism scaling
+# --------------------------------------------------------------------- #
+def figure14_salp_scaling(
+    ddr4_subarrays: tuple[int, ...] = (1, 16, 256, 2048),
+    threeds_subarrays: tuple[int, ...] = (512, 8192),
+    scale: float = 1.0,
+) -> FigureResult:
+    """Geomean speedup over the CPU for varying subarray-level parallelism."""
+    workloads = figure7_workloads()
+    result = FigureResult(
+        name="Figure 14",
+        description="Geomean speedup over the CPU vs. subarray-level parallelism",
+    )
+    sweeps = [(DDR4, count) for count in ddr4_subarrays] + [
+        (THREE_DS, count) for count in threeds_subarrays
+    ]
+    for memory, subarrays in sweeps:
+        configs = {
+            design.display_name: PlutoConfig(
+                design=design, memory=memory, subarrays=subarrays
+            )
+            for design in PlutoDesign
+        }
+        harness = EvaluationHarness(configs=configs)
+        speedups: dict[str, list[float]] = {label: [] for label in configs}
+        for workload in workloads:
+            elements = max(1, int(workload.default_elements * scale))
+            evaluation = harness.evaluate(workload, elements)
+            for label in configs:
+                speedups[label].append(evaluation.speedup_over_cpu(label))
+        row = {"memory": memory, "subarrays": subarrays}
+        for label, values in speedups.items():
+            row[label] = geometric_mean(values)
+        result.rows.append(row)
+    return result

@@ -1,0 +1,78 @@
+"""Plain-text and Markdown rendering of reproduced figures and tables."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.evaluation.figures import FigureResult
+from repro.evaluation.tables import TableResult
+
+__all__ = ["format_rows", "render_result", "render_markdown_table"]
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_rows(rows: list[dict]) -> str:
+    """Align a list of dict rows into a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_format_value(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    )
+    return "\n".join([header, separator, body])
+
+
+def render_result(result: FigureResult | TableResult) -> str:
+    """Render a reproduced figure/table with its title and description."""
+    title = f"{result.name}: {result.description}"
+    return f"{title}\n{'=' * len(title)}\n{format_rows(result.rows)}\n"
+
+
+def render_markdown_table(rows: list[dict], columns: Iterable[str] | None = None) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    columns = list(columns)
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format_value(row.get(column)) for column in columns) + " |"
+        )
+    return "\n".join(lines)

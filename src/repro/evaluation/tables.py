@@ -1,0 +1,177 @@
+"""One function per evaluation table of the paper (Tables 1, 5, 6, 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.prior_pum import PRIOR_PUM_SYSTEMS
+from repro.core.analytical import PlutoCostModel
+from repro.core.area import AreaModel
+from repro.core.designs import DESIGN_PROPERTIES, PlutoDesign
+from repro.dram.energy import DDR4_ENERGY
+from repro.dram.timing import DDR4_2400
+from repro.nn.inference import table7_configurations
+
+__all__ = [
+    "TableResult",
+    "table01_design_comparison",
+    "table05_area_breakdown",
+    "table06_prior_pum_comparison",
+    "table07_qnn_inference",
+]
+
+
+@dataclass
+class TableResult:
+    """A reproduced table: named rows of values."""
+
+    name: str
+    description: str
+    rows: list[dict] = field(default_factory=list)
+
+    def column(self, key: str) -> list:
+        """Extract one column across all rows."""
+        return [row[key] for row in self.rows]
+
+
+# --------------------------------------------------------------------- #
+# Table 1 — design comparison
+# --------------------------------------------------------------------- #
+def table01_design_comparison(lut_entries: int = 256) -> TableResult:
+    """Qualitative attributes plus evaluated query latency/energy per design."""
+    model = PlutoCostModel(DDR4_2400, DDR4_ENERGY, 8192)
+    result = TableResult(
+        name="Table 1",
+        description=f"pLUTo design comparison (N = {lut_entries} LUT elements)",
+    )
+    for design in (PlutoDesign.BSA, PlutoDesign.GSA, PlutoDesign.GMC):
+        properties = DESIGN_PROPERTIES[design]
+        result.rows.append(
+            {
+                "design": design.display_name,
+                "area_efficiency": properties.area_class,
+                "throughput": properties.throughput_class,
+                "energy_efficiency": properties.energy_class,
+                "destructive_reads": properties.destructive_reads,
+                "lut_load_per_query": properties.lut_load_per_query,
+                "query_latency_ns": model.query_latency_ns(design, lut_entries),
+                "query_energy_nj": model.query_energy_nj(design, lut_entries),
+            }
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Table 5 — area breakdown
+# --------------------------------------------------------------------- #
+def table05_area_breakdown() -> TableResult:
+    """Per-component DRAM chip area of the baseline and the three designs."""
+    model = AreaModel()
+    result = TableResult(
+        name="Table 5", description="DRAM chip area breakdown (mm^2)"
+    )
+    baseline_total = model.baseline.total
+    for label, breakdown in model.table5().items():
+        row = {"configuration": label}
+        row.update(breakdown.as_dict())
+        row["Total"] = breakdown.total
+        row["Overhead"] = breakdown.total / baseline_total - 1.0
+        result.rows.append(row)
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Table 6 — comparison against prior PuM architectures
+# --------------------------------------------------------------------- #
+def table06_prior_pum_comparison(pluto_subarrays: int = 4) -> TableResult:
+    """Per-operation latency of Ambit/SIMDRAM/LAcc/DRISA/pLUTo-BSA.
+
+    The pLUTo-BSA column assumes 4-subarray parallelism, matching the
+    table's normalisation note.
+    """
+    model = PlutoCostModel(DDR4_2400, DDR4_ENERGY, 8192)
+    merge_overhead_ns = model.bitwise_latency_ns(1) + model.shift_latency_ns(1)
+    result = TableResult(
+        name="Table 6",
+        description="Operation latency (ns) for prior PuM designs and pLUTo-BSA",
+    )
+
+    def pluto_query_ns(lut_entries: int, sweeps: int = 1, merge: bool = True) -> float:
+        latency = sweeps * model.query_latency_ns(PlutoDesign.BSA, lut_entries)
+        if merge:
+            latency += merge_overhead_ns
+        return latency / pluto_subarrays
+
+    operations: list[tuple[str, str, object, float | None]] = []
+    for bitwise in ("not", "and", "or", "xor", "xnor"):
+        operations.append(
+            (
+                bitwise.upper(),
+                "bitwise",
+                bitwise,
+                pluto_query_ns(4, merge=bitwise != "not"),
+            )
+        )
+    operations.append(("4-bit Addition", "add", 4, pluto_query_ns(256)))
+    operations.append(("4-bit Multiplication", "mul", 4, pluto_query_ns(256)))
+    operations.append(("4-bit Bit Counting", "bitcount", 4, pluto_query_ns(16, merge=False)))
+    operations.append(("8-bit Bit Counting", "bitcount", 8, pluto_query_ns(256, merge=False)))
+    operations.append(("6-bit to 2-bit LUT Query", "lut", 6, pluto_query_ns(64, merge=False)))
+    operations.append(("8-bit to 8-bit LUT Query", "lut", 8, pluto_query_ns(256, merge=False)))
+    operations.append(("8-bit Binarization", "lut", 8, pluto_query_ns(256, merge=False)))
+    operations.append(("8-bit Exponentiation", "lut", 8, pluto_query_ns(256, merge=False)))
+
+    for label, kind, parameter, pluto_ns in operations:
+        row: dict = {"operation": label, "pLUTo-BSA": pluto_ns}
+        for system in PRIOR_PUM_SYSTEMS:
+            if kind == "bitwise":
+                value = system.bitwise_latency_ns(str(parameter))
+            elif kind == "add":
+                value = system.addition_latency_ns(int(parameter))
+            elif kind == "mul":
+                value = system.multiplication_latency_ns(int(parameter))
+            elif kind == "bitcount":
+                value = system.bitcount_latency_ns(int(parameter))
+            else:  # arbitrary LUT queries: unsupported by prior PuM designs
+                value = None
+            row[system.name] = value
+        result.rows.append(row)
+
+    # Physical characteristics row (capacity / area / power).
+    result.rows.append(
+        {
+            "operation": "Area (mm^2)",
+            "pLUTo-BSA": 70.5,
+            **{system.name: system.area_mm2 for system in PRIOR_PUM_SYSTEMS},
+        }
+    )
+    result.rows.append(
+        {
+            "operation": "Power (W)",
+            "pLUTo-BSA": 11.0,
+            **{system.name: system.power_w for system in PRIOR_PUM_SYSTEMS},
+        }
+    )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Table 7 — quantized LeNet-5 inference
+# --------------------------------------------------------------------- #
+def table07_qnn_inference() -> TableResult:
+    """Inference time and energy of 1-bit and 4-bit LeNet-5 on all systems."""
+    result = TableResult(
+        name="Table 7",
+        description="LeNet-5 inference time (us) and energy (mJ)",
+    )
+    for model in table7_configurations():
+        for row in model.table7_rows():
+            result.rows.append(
+                {
+                    "bits": row.bits,
+                    "system": row.system,
+                    "time_us": row.latency_us,
+                    "energy_mj": row.energy_mj,
+                }
+            )
+    return result

@@ -1,0 +1,25 @@
+"""Prior Processing-using-Memory primitives that pLUTo builds on.
+
+These are the enhanced-DRAM mechanisms of Section 2.2:
+
+* :mod:`repro.inmem.rowclone` — RowClone-FPM intra-subarray row copy.
+* :mod:`repro.inmem.lisa` — LISA-RBM inter-subarray row-buffer movement.
+* :mod:`repro.inmem.ambit` — Ambit bulk bitwise MAJ/AND/OR/NOT.
+* :mod:`repro.inmem.drisa` — DRISA intra-row bit/byte shifting.
+* :mod:`repro.inmem.salp` — MASA-style subarray-level parallelism.
+"""
+
+from repro.inmem.ambit import AmbitUnit
+from repro.inmem.drisa import DrisaShifter
+from repro.inmem.lisa import LisaUnit
+from repro.inmem.rowclone import RowCloneUnit
+from repro.inmem.salp import SalpScheduler, salp_speedup
+
+__all__ = [
+    "AmbitUnit",
+    "DrisaShifter",
+    "LisaUnit",
+    "RowCloneUnit",
+    "SalpScheduler",
+    "salp_speedup",
+]

@@ -1,0 +1,134 @@
+"""Ambit: in-DRAM bulk bitwise operations.
+
+Ambit performs row-granularity bitwise operations with triple-row
+activation (TRA): simultaneously activating three rows computes the bitwise
+majority of their contents on the bitlines.  With one operand row fixed to
+all-zeros or all-ones, MAJ reduces to AND or OR; NOT uses a dual-contact
+cell row.  Operand rows are first copied into designated compute rows with
+RowClone, so a full AND/OR costs several ACT-ACT-PRE (AAP) sequences.
+
+The functional model operates directly on row byte vectors; the cost model
+counts TRA/ROWCLONE commands consistent with Ambit's command sequences
+(and with the latencies reported in Table 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.commands import CommandTrace, CommandType
+from repro.dram.subarray import Subarray
+from repro.errors import ConfigurationError
+
+__all__ = ["AmbitUnit"]
+
+
+class AmbitUnit:
+    """Functional + command-level model of Ambit bulk bitwise operations."""
+
+    #: Number of AAP (ACT-ACT-PRE) sequences per operation, following the
+    #: Ambit paper's command breakdown: AND/OR need 4 AAPs (2 operand
+    #: copies, 1 control-row init, 1 TRA+copy-back), NOT needs 2, XOR/XNOR
+    #: are composed from AND/OR/NOT and need ~7.
+    AAP_COUNTS = {"not": 2, "and": 4, "or": 4, "nand": 5, "nor": 5, "xor": 7, "xnor": 7, "maj": 3}
+
+    def __init__(self, trace: CommandTrace | None = None) -> None:
+        self.trace = trace
+
+    # ------------------------------------------------------------------ #
+    # Functional row-vector operations
+    # ------------------------------------------------------------------ #
+    def majority(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+        """Bitwise majority of three rows (the TRA primitive)."""
+        a, b, c = (np.asarray(x, dtype=np.uint8) for x in (a, b, c))
+        self._check_same_shape(a, b)
+        self._check_same_shape(a, c)
+        self._record("maj")
+        return (a & b) | (b & c) | (a & c)
+
+    def bitwise_and(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Bulk AND via MAJ(a, b, 0)."""
+        self._record("and")
+        return np.asarray(a, np.uint8) & np.asarray(b, np.uint8)
+
+    def bitwise_or(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Bulk OR via MAJ(a, b, 1)."""
+        self._record("or")
+        return np.asarray(a, np.uint8) | np.asarray(b, np.uint8)
+
+    def bitwise_not(self, a: np.ndarray) -> np.ndarray:
+        """Bulk NOT via the dual-contact cell row."""
+        self._record("not")
+        return np.bitwise_not(np.asarray(a, dtype=np.uint8))
+
+    def bitwise_xor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Bulk XOR composed from AND/OR/NOT sequences."""
+        self._record("xor")
+        return np.asarray(a, np.uint8) ^ np.asarray(b, np.uint8)
+
+    def bitwise_xnor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Bulk XNOR composed from AND/OR/NOT sequences."""
+        self._record("xnor")
+        return np.bitwise_not(np.asarray(a, np.uint8) ^ np.asarray(b, np.uint8))
+
+    # ------------------------------------------------------------------ #
+    # In-subarray operation (rows addressed by index)
+    # ------------------------------------------------------------------ #
+    def operate_rows(
+        self,
+        subarray: Subarray,
+        operation: str,
+        source_rows: list[int],
+        destination_row: int,
+    ) -> np.ndarray:
+        """Apply a bitwise operation to rows of a subarray, store the result."""
+        operation = operation.lower()
+        operands = [subarray.peek_row(row) for row in source_rows]
+        if operation == "not":
+            if len(operands) != 1:
+                raise ConfigurationError("NOT takes exactly one source row")
+            result = self.bitwise_not(operands[0])
+        elif operation in ("and", "or", "xor", "xnor", "nand", "nor"):
+            if len(operands) != 2:
+                raise ConfigurationError(f"{operation.upper()} takes two source rows")
+            if operation == "and":
+                result = self.bitwise_and(*operands)
+            elif operation == "or":
+                result = self.bitwise_or(*operands)
+            elif operation == "xor":
+                result = self.bitwise_xor(*operands)
+            elif operation == "xnor":
+                result = self.bitwise_xnor(*operands)
+            elif operation == "nand":
+                result = self.bitwise_not(self.bitwise_and(*operands))
+            else:
+                result = self.bitwise_not(self.bitwise_or(*operands))
+        elif operation == "maj":
+            if len(operands) != 3:
+                raise ConfigurationError("MAJ takes three source rows")
+            result = self.majority(*operands)
+        else:
+            raise ConfigurationError(f"unsupported Ambit operation: {operation}")
+        subarray.load_row(destination_row, result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+    def command_count(self, operation: str) -> int:
+        """Number of AAP sequences an operation requires."""
+        operation = operation.lower()
+        if operation not in self.AAP_COUNTS:
+            raise ConfigurationError(f"unsupported Ambit operation: {operation}")
+        return self.AAP_COUNTS[operation]
+
+    def _record(self, operation: str) -> None:
+        if self.trace is None:
+            return
+        for i in range(self.command_count(operation)):
+            self.trace.add(CommandType.TRA, meta=f"ambit {operation} aap {i + 1}")
+
+    @staticmethod
+    def _check_same_shape(a: np.ndarray, b: np.ndarray) -> None:
+        if a.shape != b.shape:
+            raise ConfigurationError(f"row shapes differ: {a.shape} vs {b.shape}")

@@ -1,0 +1,99 @@
+"""DRISA-style intra-row shifting.
+
+DRISA adds shift circuitry to the DRAM array so the contents of a row can
+be shifted by 1 bit or by 8 bits (one byte) per ACT-ACT-PRE command
+sequence.  pLUTo uses these shifts to align operands before merging them
+into LUT indices (Section 6.3).
+
+The functional model shifts the *packed row* interpreted as a single long
+little-endian bit vector, which matches the element packing used by
+:func:`repro.utils.bitops.pack_elements`: shifting the row left by ``k``
+bits shifts every element's bits towards higher element-local positions,
+exactly what operand alignment needs when elements are ``k``-bit wide and
+stored contiguously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.commands import CommandTrace, CommandType
+from repro.errors import ConfigurationError
+
+__all__ = ["DrisaShifter"]
+
+
+class DrisaShifter:
+    """Functional + command-level model of DRISA shifting."""
+
+    #: Shift amounts supported natively per command.
+    NATIVE_STEPS = (1, 8)
+
+    def __init__(self, trace: CommandTrace | None = None) -> None:
+        self.trace = trace
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+    def commands_for(self, bits: int) -> int:
+        """Number of shift commands needed for a ``bits``-bit shift.
+
+        DRISA shifts by 1 or 8 bits per command; a shift by ``bits`` uses
+        as many byte shifts as possible plus single-bit shifts for the rest.
+        """
+        if bits < 0:
+            raise ConfigurationError("shift amount must be non-negative")
+        return bits // 8 + bits % 8
+
+    # ------------------------------------------------------------------ #
+    # Functional shifts on packed rows
+    # ------------------------------------------------------------------ #
+    def shift_row_left(self, row: np.ndarray, bits: int) -> np.ndarray:
+        """Shift a packed row left (towards higher bit positions) by ``bits``."""
+        return self._shift(row, bits, left=True)
+
+    def shift_row_right(self, row: np.ndarray, bits: int) -> np.ndarray:
+        """Shift a packed row right (towards lower bit positions) by ``bits``."""
+        return self._shift(row, bits, left=False)
+
+    def shift_elements_left(
+        self, row: np.ndarray, bits: int, element_bits: int, count: int
+    ) -> np.ndarray:
+        """Shift each packed element left by ``bits`` within its own field.
+
+        This is the element-wise alignment operation the compiler inserts:
+        each ``element_bits``-wide field is shifted independently (bits
+        shifted beyond the field are dropped), leaving neighbouring elements
+        untouched.
+        """
+        from repro.utils.bitops import mask_of, pack_elements, unpack_elements
+
+        if bits < 0:
+            raise ConfigurationError("shift amount must be non-negative")
+        values = unpack_elements(row, element_bits, count)
+        shifted = (values << np.uint64(bits)) & np.uint64(mask_of(element_bits))
+        self._record(bits)
+        return pack_elements(shifted, element_bits, row.size)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _shift(self, row: np.ndarray, bits: int, *, left: bool) -> np.ndarray:
+        if bits < 0:
+            raise ConfigurationError("shift amount must be non-negative")
+        row = np.asarray(row, dtype=np.uint8)
+        bit_array = np.unpackbits(row, bitorder="little")
+        shifted = np.zeros_like(bit_array)
+        if bits < bit_array.size:
+            if left:
+                shifted[bits:] = bit_array[: bit_array.size - bits]
+            else:
+                shifted[: bit_array.size - bits] = bit_array[bits:]
+        self._record(bits)
+        return np.packbits(shifted, bitorder="little")
+
+    def _record(self, bits: int) -> None:
+        if self.trace is None:
+            return
+        for i in range(self.commands_for(bits)):
+            self.trace.add(CommandType.SHIFT, meta=f"drisa shift step {i + 1}")

@@ -1,0 +1,93 @@
+"""LISA-RBM: inter-subarray row-buffer movement.
+
+LISA links neighbouring subarrays in a bank with isolation transistors so
+the contents of one local row buffer can be driven onto the next subarray's
+bitlines, moving a whole row between subarrays without using the memory
+channel.  pLUTo uses it (a) to copy the FF-buffer / query output into the
+destination subarray's row buffer and (b) to reload LUTs in pLUTo-GSA.
+
+This module models a hop-by-hop row move between two subarrays in the same
+bank.  Each hop costs one ``LISA_RBM`` command.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.bank import Bank
+from repro.dram.commands import CommandTrace, CommandType
+from repro.errors import ConfigurationError
+
+__all__ = ["LisaUnit"]
+
+
+class LisaUnit:
+    """Functional + command-level model of LISA row-buffer movement."""
+
+    def __init__(self, trace: CommandTrace | None = None) -> None:
+        self.trace = trace
+
+    def hops_between(self, source_subarray: int, destination_subarray: int) -> int:
+        """Number of LISA hops needed between two subarrays of a bank."""
+        return abs(destination_subarray - source_subarray)
+
+    def move_row(
+        self,
+        bank: Bank,
+        source_subarray: int,
+        source_row: int,
+        destination_subarray: int,
+        destination_row: int,
+    ) -> np.ndarray:
+        """Move one row across subarrays of ``bank``; returns the row data.
+
+        The source row is read through a normal activation, then the data is
+        relayed buffer-to-buffer across intermediate subarrays and finally
+        written into the destination row.
+        """
+        if source_subarray == destination_subarray:
+            raise ConfigurationError(
+                "LISA moves rows between different subarrays; use RowClone "
+                "for intra-subarray copies"
+            )
+        source = bank.subarray(source_subarray)
+        destination = bank.subarray(destination_subarray)
+        data = source.activate(source_row)
+        source.precharge()
+
+        hops = self.hops_between(source_subarray, destination_subarray)
+        if self.trace is not None:
+            for hop in range(hops):
+                self.trace.add(
+                    CommandType.LISA_RBM,
+                    bank=bank.index,
+                    subarray=source_subarray + np.sign(
+                        destination_subarray - source_subarray
+                    ) * (hop + 1),
+                    meta=f"lisa hop {hop + 1}/{hops}",
+                )
+        destination.activate(destination_row)
+        destination.write_buffer(data)
+        destination.precharge()
+        return data
+
+    def broadcast_row(
+        self,
+        bank: Bank,
+        source_subarray: int,
+        source_row: int,
+        destinations: list[tuple[int, int]],
+    ) -> None:
+        """Copy one row into several (subarray, row) destinations.
+
+        Used when replicating a LUT across multiple pLUTo-enabled subarrays
+        for subarray-level parallelism.
+        """
+        for destination_subarray, destination_row in destinations:
+            self.move_row(
+                bank,
+                source_subarray,
+                source_row,
+                destination_subarray,
+                destination_row,
+            )

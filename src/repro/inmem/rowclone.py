@@ -1,0 +1,49 @@
+"""RowClone-FPM: intra-subarray bulk data copy.
+
+RowClone Fast Parallel Mode copies one DRAM row onto another row of the
+*same* subarray with two back-to-back activations: the source row is
+activated (filling the row buffer), then the destination row's wordline is
+asserted while the row buffer still drives the bitlines, overwriting the
+destination cells.  The cost is one ACT-ACT-PRE sequence.
+"""
+
+from __future__ import annotations
+
+from repro.dram.commands import CommandTrace, CommandType
+from repro.dram.subarray import Subarray
+from repro.errors import ConfigurationError
+
+__all__ = ["RowCloneUnit"]
+
+
+class RowCloneUnit:
+    """Functional + command-level model of RowClone-FPM."""
+
+    def __init__(self, trace: CommandTrace | None = None) -> None:
+        self.trace = trace
+
+    def copy(self, subarray: Subarray, source_row: int, destination_row: int) -> None:
+        """Copy ``source_row`` onto ``destination_row`` within ``subarray``."""
+        if source_row == destination_row:
+            raise ConfigurationError("RowClone source and destination must differ")
+        if not subarray.is_precharged:
+            raise ConfigurationError(
+                "RowClone requires the subarray to start precharged"
+            )
+        # First activation: source row into the row buffer.
+        data = subarray.activate(source_row)
+        # Second activation is modelled by writing the buffer contents into
+        # the destination row while the buffer is still latched.
+        subarray.load_row(destination_row, data)
+        subarray.precharge()
+        if self.trace is not None:
+            self.trace.add(
+                CommandType.ROWCLONE,
+                subarray=subarray.index,
+                row=destination_row,
+                meta=f"rowclone {source_row}->{destination_row}",
+            )
+
+    def initialize(self, subarray: Subarray, zero_row: int, destination_row: int) -> None:
+        """RowClone-based bulk zero-initialisation (copy from a reserved zero row)."""
+        self.copy(subarray, zero_row, destination_row)

@@ -1,0 +1,130 @@
+"""Subarray-level parallelism (MASA / SALP).
+
+MASA overlaps accesses to different subarrays of the same bank, letting
+multiple subarrays keep rows open and operate concurrently.  For pLUTo this
+means many Row Sweeps can proceed in parallel (Section 5.5); the achievable
+parallelism is bounded by the tFAW activation-rate constraint (Section 8.7).
+
+Two views are provided:
+
+* :func:`salp_speedup` — the first-order model used in the figures:
+  performance scales linearly with the number of parallel subarrays, then
+  is derated by the tFAW activation-rate ceiling.
+* :class:`SalpScheduler` — an event-based model that interleaves per-
+  subarray activation streams under the tFAW sliding window, used to
+  validate the first-order model in tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.dram.timing import TimingParameters
+from repro.errors import ConfigurationError
+
+__all__ = ["salp_speedup", "SalpScheduler", "SweepRequest"]
+
+
+def salp_speedup(
+    subarrays: int,
+    timing: TimingParameters,
+    *,
+    act_interval_ns: float | None = None,
+    tfaw_fraction: float = 0.0,
+) -> float:
+    """First-order speedup of running ``subarrays`` sweeps in parallel.
+
+    Without a tFAW constraint the speedup is exactly ``subarrays``.  With a
+    constraint, the aggregate activation rate across all subarrays cannot
+    exceed ``4 / tFAW``; the speedup saturates at the ratio between that
+    ceiling and a single subarray's activation rate.
+
+    Parameters
+    ----------
+    subarrays:
+        Degree of subarray-level parallelism.
+    timing:
+        DRAM timing parameters (used for the per-subarray activation rate).
+    act_interval_ns:
+        Time between consecutive activations of one sweep; defaults to the
+        BSA spacing (tRCD + tRP).
+    tfaw_fraction:
+        Fraction of the nominal tFAW to enforce (0 disables the constraint,
+        matching the paper's default "unthrottled" configuration).
+    """
+    if subarrays <= 0:
+        raise ConfigurationError("subarray count must be positive")
+    if act_interval_ns is None:
+        act_interval_ns = timing.t_rcd + timing.t_rp
+    if act_interval_ns <= 0:
+        raise ConfigurationError("activation interval must be positive")
+    ideal = float(subarrays)
+    effective_tfaw = timing.t_faw * tfaw_fraction
+    if effective_tfaw <= 0:
+        return ideal
+    per_subarray_rate = 1.0 / act_interval_ns
+    ceiling_rate = 4.0 / effective_tfaw
+    max_parallelism = ceiling_rate / per_subarray_rate
+    return min(ideal, max(1.0, max_parallelism))
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One subarray's share of a parallel Row Sweep."""
+
+    subarray: int
+    activations: int
+    act_interval_ns: float
+
+
+class SalpScheduler:
+    """Event-based interleaving of parallel activation streams under tFAW."""
+
+    def __init__(self, timing: TimingParameters, *, tfaw_fraction: float = 1.0) -> None:
+        self.timing = timing
+        self.tfaw_ns = timing.t_faw * tfaw_fraction
+
+    def simulate(self, requests: list[SweepRequest]) -> float:
+        """Return the makespan (ns) of executing all requests concurrently."""
+        if not requests:
+            return 0.0
+        for request in requests:
+            if request.activations <= 0 or request.act_interval_ns <= 0:
+                raise ConfigurationError("requests need positive counts/intervals")
+
+        # Each stream wants to issue its next ACT at `ready`; the global
+        # tFAW window may push it later.  A min-heap on ready time gives the
+        # interleaving a real controller would produce.
+        recent_acts: list[float] = []
+        heap: list[tuple[float, int, int]] = []  # (ready, stream, remaining)
+        for index, request in enumerate(requests):
+            heapq.heappush(heap, (0.0, index, request.activations))
+        finish = 0.0
+        while heap:
+            ready, index, remaining = heapq.heappop(heap)
+            issue = ready
+            if self.tfaw_ns > 0 and len(recent_acts) >= 4:
+                issue = max(issue, recent_acts[-4] + self.tfaw_ns)
+            recent_acts.append(issue)
+            if len(recent_acts) > 8:
+                recent_acts = recent_acts[-8:]
+            request = requests[index]
+            completion = issue + request.act_interval_ns
+            finish = max(finish, completion)
+            if remaining > 1:
+                heapq.heappush(heap, (completion, index, remaining - 1))
+        return finish
+
+    def relative_performance(self, activations: int, subarrays: int) -> float:
+        """Performance of a parallel sweep relative to the unthrottled case."""
+        interval = self.timing.t_rcd + self.timing.t_rp
+        requests = [
+            SweepRequest(subarray=i, activations=activations, act_interval_ns=interval)
+            for i in range(subarrays)
+        ]
+        throttled = self.simulate(requests)
+        unthrottled = SalpScheduler(self.timing, tfaw_fraction=0.0).simulate(requests)
+        if throttled <= 0:
+            return 1.0
+        return unthrottled / throttled

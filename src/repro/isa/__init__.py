@@ -1,0 +1,33 @@
+"""The pLUTo ISA extension (Section 6.1)."""
+
+from repro.isa.instructions import (
+    BitwiseKind,
+    Instruction,
+    PlutoBitShift,
+    PlutoBitwise,
+    PlutoByteShift,
+    PlutoMove,
+    PlutoOp,
+    PlutoRowAlloc,
+    PlutoSubarrayAlloc,
+    ShiftDirection,
+)
+from repro.isa.program import PlutoProgram
+from repro.isa.registers import RegisterFile, RowRegister, SubarrayRegister
+
+__all__ = [
+    "BitwiseKind",
+    "Instruction",
+    "PlutoBitShift",
+    "PlutoBitwise",
+    "PlutoByteShift",
+    "PlutoMove",
+    "PlutoOp",
+    "PlutoRowAlloc",
+    "PlutoSubarrayAlloc",
+    "ShiftDirection",
+    "PlutoProgram",
+    "RegisterFile",
+    "RowRegister",
+    "SubarrayRegister",
+]

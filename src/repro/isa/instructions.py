@@ -1,0 +1,227 @@
+"""pLUTo ISA extension instructions (Table 2).
+
+Each instruction is an immutable dataclass; :class:`Instruction` is the
+common base.  Instructions reference operands through the register objects
+of :mod:`repro.isa.registers`, keeping programs symbolic until the
+controller's allocation table binds them to physical rows/subarrays.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.isa.registers import RowRegister, SubarrayRegister
+
+__all__ = [
+    "Instruction",
+    "PlutoRowAlloc",
+    "PlutoSubarrayAlloc",
+    "PlutoOp",
+    "BitwiseKind",
+    "PlutoBitwise",
+    "ShiftDirection",
+    "PlutoBitShift",
+    "PlutoByteShift",
+    "PlutoMove",
+]
+
+
+class BitwiseKind(enum.Enum):
+    """Bitwise logic operations supported in-DRAM (from Ambit)."""
+
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    XNOR = "xnor"
+
+
+class ShiftDirection(enum.Enum):
+    """Shift directions supported by DRISA-style shifting."""
+
+    LEFT = "l"
+    RIGHT = "r"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for all pLUTo ISA instructions."""
+
+    @property
+    def mnemonic(self) -> str:
+        """Assembly mnemonic (subclasses override)."""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        """Assembly-style rendering used in program listings."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+@dataclass(frozen=True)
+class PlutoRowAlloc(Instruction):
+    """``pluto_row_alloc dst, size, bitwidth`` — allocate input/output rows."""
+
+    destination: RowRegister
+    size_elements: int
+    bit_width: int
+
+    def __post_init__(self) -> None:
+        if self.size_elements <= 0 or self.bit_width <= 0:
+            raise ConfigurationError("pluto_row_alloc needs positive size/bitwidth")
+
+    @property
+    def mnemonic(self) -> str:
+        return "pluto_row_alloc"
+
+    def render(self) -> str:
+        return (
+            f"{self.mnemonic} {self.destination.name}, "
+            f"{self.size_elements}, {self.bit_width}"
+        )
+
+
+@dataclass(frozen=True)
+class PlutoSubarrayAlloc(Instruction):
+    """``pluto_subarray_alloc dst, num_rows, lut_file`` — allocate a LUT subarray."""
+
+    destination: SubarrayRegister
+    num_rows: int
+    lut_name: str
+
+    def __post_init__(self) -> None:
+        if self.num_rows <= 0:
+            raise ConfigurationError("pluto_subarray_alloc needs a positive row count")
+
+    @property
+    def mnemonic(self) -> str:
+        return "pluto_subarray_alloc"
+
+    def render(self) -> str:
+        return (
+            f"{self.mnemonic} {self.destination.name}, {self.num_rows}, "
+            f"\"{self.lut_name}\""
+        )
+
+
+@dataclass(frozen=True)
+class PlutoOp(Instruction):
+    """``pluto_op dst, src, lut_subarr, lut_size, lut_bitw`` — the LUT query."""
+
+    destination: RowRegister
+    source: RowRegister
+    lut_subarray: SubarrayRegister
+    lut_size: int
+    lut_bit_width: int
+
+    def __post_init__(self) -> None:
+        if self.lut_size <= 0:
+            raise ConfigurationError("pluto_op needs a positive LUT size")
+        if self.lut_size & (self.lut_size - 1):
+            raise ConfigurationError(
+                f"pluto_op LUT size must be a power of two, got {self.lut_size}"
+            )
+        if self.lut_bit_width <= 0:
+            raise ConfigurationError("pluto_op needs a positive LUT element width")
+        index_bits = (self.lut_size - 1).bit_length()
+        if self.lut_bit_width < index_bits:
+            raise ConfigurationError(
+                "pluto_op LUT element width must be >= the index width "
+                f"({self.lut_bit_width} < {index_bits}); zero-pad the inputs"
+            )
+
+    @property
+    def mnemonic(self) -> str:
+        return "pluto_op"
+
+    def render(self) -> str:
+        return (
+            f"{self.mnemonic} {self.destination.name}, {self.source.name}, "
+            f"{self.lut_subarray.name}, {self.lut_size}, {self.lut_bit_width}"
+        )
+
+
+@dataclass(frozen=True)
+class PlutoBitwise(Instruction):
+    """``pluto_{not,and,or,...} dst, src1[, src2]`` — Ambit bulk bitwise ops."""
+
+    kind: BitwiseKind
+    destination: RowRegister
+    source1: RowRegister
+    source2: RowRegister | None = None
+
+    def __post_init__(self) -> None:
+        needs_two = self.kind is not BitwiseKind.NOT
+        if needs_two and self.source2 is None:
+            raise ConfigurationError(f"pluto_{self.kind.value} needs two source rows")
+        if not needs_two and self.source2 is not None:
+            raise ConfigurationError("pluto_not takes a single source row")
+
+    @property
+    def mnemonic(self) -> str:
+        return f"pluto_{self.kind.value}"
+
+    def render(self) -> str:
+        operands = [self.destination.name, self.source1.name]
+        if self.source2 is not None:
+            operands.append(self.source2.name)
+        return f"{self.mnemonic} " + ", ".join(operands)
+
+
+@dataclass(frozen=True)
+class PlutoBitShift(Instruction):
+    """``pluto_bit_shift_{l,r} src, #N`` — element-wise bit shift (DRISA)."""
+
+    direction: ShiftDirection
+    target: RowRegister
+    amount: int
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise ConfigurationError("shift amount must be non-negative")
+
+    @property
+    def mnemonic(self) -> str:
+        return f"pluto_bit_shift_{self.direction.value}"
+
+    def render(self) -> str:
+        return f"{self.mnemonic} {self.target.name}, #{self.amount}"
+
+
+@dataclass(frozen=True)
+class PlutoByteShift(Instruction):
+    """``pluto_byte_shift_{l,r} src, #N`` — byte-granularity shift (DRISA)."""
+
+    direction: ShiftDirection
+    target: RowRegister
+    amount: int
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise ConfigurationError("shift amount must be non-negative")
+
+    @property
+    def mnemonic(self) -> str:
+        return f"pluto_byte_shift_{self.direction.value}"
+
+    def render(self) -> str:
+        return f"{self.mnemonic} {self.target.name}, #{self.amount}"
+
+
+@dataclass(frozen=True)
+class PlutoMove(Instruction):
+    """``pluto_move dst, src`` — in-DRAM row copy (RowClone / LISA)."""
+
+    destination: RowRegister
+    source: RowRegister
+
+    @property
+    def mnemonic(self) -> str:
+        return "pluto_move"
+
+    def render(self) -> str:
+        return f"{self.mnemonic} {self.destination.name}, {self.source.name}"

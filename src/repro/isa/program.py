@@ -1,0 +1,110 @@
+"""pLUTo ISA programs.
+
+A :class:`PlutoProgram` is an ordered instruction list plus light static
+validation: registers must be allocated (by an alloc instruction or
+registered up front) before they are used, and LUT subarrays must be
+allocated before a ``pluto_op`` references them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import CompilationError
+from repro.isa.instructions import (
+    Instruction,
+    PlutoBitShift,
+    PlutoBitwise,
+    PlutoByteShift,
+    PlutoMove,
+    PlutoOp,
+    PlutoRowAlloc,
+    PlutoSubarrayAlloc,
+)
+from repro.isa.registers import RowRegister, SubarrayRegister
+
+__all__ = ["PlutoProgram"]
+
+
+@dataclass
+class PlutoProgram:
+    """An ordered sequence of pLUTo ISA instructions."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def append(self, instruction: Instruction) -> Instruction:
+        """Append one instruction and return it."""
+        self.instructions.append(instruction)
+        return instruction
+
+    def extend(self, instructions: list[Instruction]) -> None:
+        """Append several instructions."""
+        self.instructions.extend(instructions)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check def-before-use of row and subarray registers.
+
+        Raises :class:`CompilationError` on the first violation.
+        """
+        defined_rows: set[int] = set()
+        defined_subarrays: set[int] = set()
+
+        def _require_row(register: RowRegister, instruction: Instruction) -> None:
+            if register.index not in defined_rows:
+                raise CompilationError(
+                    f"{instruction.render()}: row register {register.name} "
+                    "used before allocation"
+                )
+
+        def _require_subarray(register: SubarrayRegister, instruction: Instruction) -> None:
+            if register.index not in defined_subarrays:
+                raise CompilationError(
+                    f"{instruction.render()}: subarray register {register.name} "
+                    "used before allocation"
+                )
+
+        for instruction in self.instructions:
+            if isinstance(instruction, PlutoRowAlloc):
+                defined_rows.add(instruction.destination.index)
+            elif isinstance(instruction, PlutoSubarrayAlloc):
+                defined_subarrays.add(instruction.destination.index)
+            elif isinstance(instruction, PlutoOp):
+                _require_row(instruction.source, instruction)
+                _require_row(instruction.destination, instruction)
+                _require_subarray(instruction.lut_subarray, instruction)
+            elif isinstance(instruction, PlutoBitwise):
+                _require_row(instruction.source1, instruction)
+                if instruction.source2 is not None:
+                    _require_row(instruction.source2, instruction)
+                _require_row(instruction.destination, instruction)
+            elif isinstance(instruction, (PlutoBitShift, PlutoByteShift)):
+                _require_row(instruction.target, instruction)
+            elif isinstance(instruction, PlutoMove):
+                _require_row(instruction.source, instruction)
+                _require_row(instruction.destination, instruction)
+
+    # ------------------------------------------------------------------ #
+    # Statistics and rendering
+    # ------------------------------------------------------------------ #
+    def count(self, instruction_type: type) -> int:
+        """Number of instructions of the given type."""
+        return sum(1 for i in self.instructions if isinstance(i, instruction_type))
+
+    @property
+    def lut_queries(self) -> int:
+        """Number of ``pluto_op`` instructions in the program."""
+        return self.count(PlutoOp)
+
+    def listing(self) -> str:
+        """Assembly-style listing of the whole program."""
+        return "\n".join(instruction.render() for instruction in self.instructions)

@@ -1,0 +1,132 @@
+"""pLUTo special-purpose registers.
+
+pLUTo instructions operate on two register kinds (Section 6.1):
+
+* **Row registers** (``$prgN``) reference contiguously allocated DRAM rows
+  used as LUT-query inputs/outputs or bitwise-operation operands.
+* **Subarray registers** (``$lut_rgN``) reference a pLUTo-enabled subarray
+  holding a LUT.
+
+The :class:`RegisterFile` hands out registers and records their allocation
+metadata; the controller's allocation table later binds them to physical
+addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError
+
+__all__ = ["RowRegister", "SubarrayRegister", "RegisterFile"]
+
+
+@dataclass(frozen=True)
+class RowRegister:
+    """A pLUTo Row Register: identifies allocated input/output rows."""
+
+    index: int
+    size_elements: int
+    bit_width: int
+
+    @property
+    def name(self) -> str:
+        """Assembly-style register name."""
+        return f"$prg{self.index}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class SubarrayRegister:
+    """A pLUTo Subarray Register: identifies a LUT-holding subarray."""
+
+    index: int
+    num_rows: int
+    lut_name: str
+
+    @property
+    def name(self) -> str:
+        """Assembly-style register name."""
+        return f"$lut_rg{self.index}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class RegisterFile:
+    """Allocates row and subarray registers with monotonically growing indices."""
+
+    def __init__(self, *, max_row_registers: int = 64, max_subarray_registers: int = 32) -> None:
+        if max_row_registers <= 0 or max_subarray_registers <= 0:
+            raise AllocationError("register-file capacities must be positive")
+        self.max_row_registers = max_row_registers
+        self.max_subarray_registers = max_subarray_registers
+        self._row_registers: list[RowRegister] = []
+        self._subarray_registers: list[SubarrayRegister] = []
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    def allocate_row(self, size_elements: int, bit_width: int) -> RowRegister:
+        """Allocate a row register for ``size_elements`` x ``bit_width``-bit data."""
+        if size_elements <= 0 or bit_width <= 0:
+            raise AllocationError("row allocations need positive size and bit width")
+        if len(self._row_registers) >= self.max_row_registers:
+            raise AllocationError(
+                f"row-register file exhausted ({self.max_row_registers} registers)"
+            )
+        register = RowRegister(
+            index=len(self._row_registers),
+            size_elements=size_elements,
+            bit_width=bit_width,
+        )
+        self._row_registers.append(register)
+        return register
+
+    def allocate_subarray(self, num_rows: int, lut_name: str) -> SubarrayRegister:
+        """Allocate a subarray register for a LUT with ``num_rows`` entries."""
+        if num_rows <= 0:
+            raise AllocationError("subarray allocations need a positive row count")
+        if len(self._subarray_registers) >= self.max_subarray_registers:
+            raise AllocationError(
+                "subarray-register file exhausted "
+                f"({self.max_subarray_registers} registers)"
+            )
+        register = SubarrayRegister(
+            index=len(self._subarray_registers),
+            num_rows=num_rows,
+            lut_name=lut_name,
+        )
+        self._subarray_registers.append(register)
+        return register
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def row_registers(self) -> tuple[RowRegister, ...]:
+        """All allocated row registers, in allocation order."""
+        return tuple(self._row_registers)
+
+    @property
+    def subarray_registers(self) -> tuple[SubarrayRegister, ...]:
+        """All allocated subarray registers, in allocation order."""
+        return tuple(self._subarray_registers)
+
+    def row(self, index: int) -> RowRegister:
+        """Look up a row register by index."""
+        try:
+            return self._row_registers[index]
+        except IndexError as error:
+            raise AllocationError(f"row register {index} was never allocated") from error
+
+    def subarray(self, index: int) -> SubarrayRegister:
+        """Look up a subarray register by index."""
+        try:
+            return self._subarray_registers[index]
+        except IndexError as error:
+            raise AllocationError(
+                f"subarray register {index} was never allocated"
+            ) from error

@@ -1,0 +1,91 @@
+"""Integer neural-network layers implemented from scratch on NumPy.
+
+These layers are deliberately simple (direct convolution loops over output
+positions) because the case study's networks are tiny (LeNet-5 on 28x28
+inputs); clarity and op-count accountability matter more than speed here.
+Every layer reports its multiply-accumulate count, which is what the
+pLUTo/CPU/GPU/FPGA cost models consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["conv2d", "max_pool2d", "dense", "relu", "conv2d_macs", "dense_macs"]
+
+
+def conv2d(inputs: np.ndarray, kernels: np.ndarray, stride: int = 1) -> np.ndarray:
+    """Valid-padding 2-D convolution.
+
+    ``inputs`` has shape (batch, in_channels, height, width); ``kernels``
+    has shape (out_channels, in_channels, kh, kw).  Returns
+    (batch, out_channels, out_h, out_w).
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    kernels = np.asarray(kernels, dtype=np.float64)
+    if inputs.ndim != 4 or kernels.ndim != 4:
+        raise ConfigurationError("conv2d expects 4-D inputs and kernels")
+    batch, in_channels, height, width = inputs.shape
+    out_channels, kernel_channels, kernel_h, kernel_w = kernels.shape
+    if kernel_channels != in_channels:
+        raise ConfigurationError(
+            f"kernel channels {kernel_channels} != input channels {in_channels}"
+        )
+    out_h = (height - kernel_h) // stride + 1
+    out_w = (width - kernel_w) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ConfigurationError("kernel larger than input")
+    output = np.zeros((batch, out_channels, out_h, out_w))
+    for row in range(out_h):
+        for col in range(out_w):
+            window = inputs[
+                :,
+                :,
+                row * stride : row * stride + kernel_h,
+                col * stride : col * stride + kernel_w,
+            ]
+            # (batch, 1, C, kh, kw) * (1, O, C, kh, kw) summed over C/kh/kw.
+            output[:, :, row, col] = np.einsum(
+                "bchw,ochw->bo", window, kernels
+            )
+    return output
+
+
+def conv2d_macs(
+    in_channels: int, out_channels: int, kernel: int, out_h: int, out_w: int
+) -> int:
+    """Multiply-accumulate count of one convolution layer (per image)."""
+    return out_channels * out_h * out_w * in_channels * kernel * kernel
+
+
+def max_pool2d(inputs: np.ndarray, size: int = 2) -> np.ndarray:
+    """Non-overlapping max pooling over (batch, channels, h, w)."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    batch, channels, height, width = inputs.shape
+    if height % size or width % size:
+        raise ConfigurationError("pooling size must divide the spatial dimensions")
+    reshaped = inputs.reshape(batch, channels, height // size, size, width // size, size)
+    return reshaped.max(axis=(3, 5))
+
+
+def dense(inputs: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Fully connected layer: (batch, in) x (in, out) -> (batch, out)."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if inputs.shape[1] != weights.shape[0]:
+        raise ConfigurationError(
+            f"dense shape mismatch: {inputs.shape} x {weights.shape}"
+        )
+    return inputs @ weights
+
+
+def dense_macs(in_features: int, out_features: int) -> int:
+    """Multiply-accumulate count of one dense layer (per image)."""
+    return in_features * out_features
+
+
+def relu(inputs: np.ndarray) -> np.ndarray:
+    """Rectified linear activation."""
+    return np.maximum(np.asarray(inputs, dtype=np.float64), 0.0)

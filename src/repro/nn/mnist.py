@@ -1,0 +1,72 @@
+"""Synthetic MNIST-like digit dataset.
+
+The paper evaluates LeNet-5 on MNIST; this repository has no network
+access, so we generate a deterministic MNIST-like dataset: 28x28 grayscale
+images rendered from per-class stroke templates (coarse 7x7 digit glyphs
+upsampled to 28x28) plus per-sample jitter and noise.  The dataset has the
+same shapes and value ranges as MNIST and is linearly separable enough that
+a randomly initialised then lightly calibrated LeNet-5 achieves
+well-above-chance accuracy, which is all the Table 7 reproduction needs
+(the paper takes accuracy numbers from prior work and measures time/energy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["synthetic_mnist", "DIGIT_TEMPLATES"]
+
+#: Coarse 7x7 glyphs for the ten digits (1 = stroke, 0 = background).
+_RAW_TEMPLATES = {
+    0: ["0111110", "1100011", "1100011", "1100011", "1100011", "1100011", "0111110"],
+    1: ["0001100", "0011100", "0111100", "0001100", "0001100", "0001100", "0111111"],
+    2: ["0111110", "1100011", "0000011", "0001110", "0111000", "1100000", "1111111"],
+    3: ["0111110", "1100011", "0000011", "0011110", "0000011", "1100011", "0111110"],
+    4: ["0000110", "0001110", "0011010", "0110010", "1111111", "0000010", "0000010"],
+    5: ["1111111", "1100000", "1111110", "0000011", "0000011", "1100011", "0111110"],
+    6: ["0011110", "0110000", "1100000", "1111110", "1100011", "1100011", "0111110"],
+    7: ["1111111", "0000011", "0000110", "0001100", "0011000", "0110000", "0110000"],
+    8: ["0111110", "1100011", "1100011", "0111110", "1100011", "1100011", "0111110"],
+    9: ["0111110", "1100011", "1100011", "0111111", "0000011", "0000110", "0111100"],
+}
+
+DIGIT_TEMPLATES = {
+    digit: np.array([[int(c) for c in row] for row in rows], dtype=np.float64)
+    for digit, rows in _RAW_TEMPLATES.items()
+}
+
+
+def _render(template: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Upsample a 7x7 glyph to 28x28 with jitter, blur, and noise."""
+    upsampled = np.kron(template, np.ones((4, 4)))
+    shift_y, shift_x = rng.integers(-2, 3, size=2)
+    shifted = np.roll(np.roll(upsampled, shift_y, axis=0), shift_x, axis=1)
+    # Cheap separable blur to soften stroke edges.
+    blurred = shifted.copy()
+    blurred[1:, :] += 0.5 * shifted[:-1, :]
+    blurred[:-1, :] += 0.5 * shifted[1:, :]
+    blurred[:, 1:] += 0.5 * shifted[:, :-1]
+    blurred[:, :-1] += 0.5 * shifted[:, 1:]
+    blurred /= blurred.max() or 1.0
+    noisy = blurred + rng.normal(0.0, 0.08, size=blurred.shape)
+    return np.clip(noisy, 0.0, 1.0)
+
+
+def synthetic_mnist(
+    samples: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate ``samples`` MNIST-like images and labels.
+
+    Returns ``(images, labels)`` with ``images`` of shape
+    (samples, 1, 28, 28) in [0, 1] and integer ``labels`` in [0, 9].
+    """
+    if samples <= 0:
+        raise ConfigurationError("sample count must be positive")
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 10, size=samples)
+    images = np.zeros((samples, 1, 28, 28))
+    for index, label in enumerate(labels):
+        images[index, 0] = _render(DIGIT_TEMPLATES[int(label)], rng)
+    return images, labels.astype(np.int64)

@@ -1,0 +1,55 @@
+"""Shared utilities: bit manipulation, fixed-point arithmetic, and units."""
+
+from repro.utils.bitops import (
+    bit_length_for,
+    bits_required,
+    extract_field,
+    insert_field,
+    interleave_operands,
+    mask_of,
+    pack_elements,
+    split_interleaved,
+    unpack_elements,
+)
+from repro.utils.fixedpoint import (
+    QFormat,
+    from_fixed,
+    to_fixed,
+)
+from repro.utils.units import (
+    GIGA,
+    KILO,
+    MEGA,
+    MILLI,
+    MICRO,
+    NANO,
+    PICO,
+    format_energy,
+    format_time,
+    geometric_mean,
+)
+
+__all__ = [
+    "bit_length_for",
+    "bits_required",
+    "extract_field",
+    "insert_field",
+    "interleave_operands",
+    "mask_of",
+    "pack_elements",
+    "split_interleaved",
+    "unpack_elements",
+    "QFormat",
+    "from_fixed",
+    "to_fixed",
+    "GIGA",
+    "KILO",
+    "MEGA",
+    "MILLI",
+    "MICRO",
+    "NANO",
+    "PICO",
+    "format_energy",
+    "format_time",
+    "geometric_mean",
+]

@@ -1,0 +1,164 @@
+"""Bit-level helpers used throughout the functional simulator.
+
+pLUTo operates on DRAM rows that hold densely packed fixed-width elements.
+The functions here convert between NumPy element vectors and packed row
+bytes, build the interleaved operand layouts required by LUT-based binary
+operations (e.g. ``a << k | b`` before an addition LUT query), and provide
+small integer-field utilities used by the ISA and compiler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "mask_of",
+    "bits_required",
+    "bit_length_for",
+    "extract_field",
+    "insert_field",
+    "pack_elements",
+    "unpack_elements",
+    "interleave_operands",
+    "split_interleaved",
+]
+
+
+def mask_of(bits: int) -> int:
+    """Return an integer with the ``bits`` least-significant bits set.
+
+    >>> mask_of(4)
+    15
+    """
+    if bits < 0:
+        raise ConfigurationError(f"bit width must be non-negative, got {bits}")
+    return (1 << bits) - 1
+
+
+def bits_required(value: int) -> int:
+    """Return the number of bits needed to represent ``value`` (>= 1).
+
+    Zero requires one bit by convention (a LUT with a single entry still
+    occupies one row index bit).
+    """
+    if value < 0:
+        raise ConfigurationError(f"value must be non-negative, got {value}")
+    return max(1, int(value).bit_length())
+
+
+def bit_length_for(num_entries: int) -> int:
+    """Return the index width (in bits) of a LUT with ``num_entries`` entries.
+
+    The paper requires LUT sizes to be powers of two; this helper accepts any
+    positive count and returns ``ceil(log2(num_entries))``.
+    """
+    if num_entries <= 0:
+        raise ConfigurationError(
+            f"a LUT must have at least one entry, got {num_entries}"
+        )
+    return max(1, (num_entries - 1).bit_length())
+
+
+def extract_field(value: int, offset: int, width: int) -> int:
+    """Extract ``width`` bits starting at bit ``offset`` from ``value``."""
+    if offset < 0 or width < 0:
+        raise ConfigurationError("offset and width must be non-negative")
+    return (value >> offset) & mask_of(width)
+
+
+def insert_field(value: int, field: int, offset: int, width: int) -> int:
+    """Return ``value`` with ``field`` written into bits [offset, offset+width)."""
+    if offset < 0 or width < 0:
+        raise ConfigurationError("offset and width must be non-negative")
+    cleared = value & ~(mask_of(width) << offset)
+    return cleared | ((field & mask_of(width)) << offset)
+
+
+def pack_elements(elements: np.ndarray, bit_width: int, row_bytes: int) -> np.ndarray:
+    """Pack integer ``elements`` of ``bit_width`` bits into a row of bytes.
+
+    Elements are stored bit-parallel and little-endian within the row, i.e.
+    element *i* occupies bits ``[i*bit_width, (i+1)*bit_width)`` of the row.
+    The result always has exactly ``row_bytes`` bytes; unused bits are zero.
+
+    Raises :class:`ConfigurationError` if the elements do not fit or any
+    element exceeds the bit width.
+    """
+    if bit_width <= 0:
+        raise ConfigurationError(f"bit width must be positive, got {bit_width}")
+    elements = np.asarray(elements, dtype=np.uint64)
+    if elements.size * bit_width > row_bytes * 8:
+        raise ConfigurationError(
+            f"{elements.size} elements of {bit_width} bits do not fit in a "
+            f"{row_bytes}-byte row"
+        )
+    if elements.size and int(elements.max()) > mask_of(bit_width):
+        raise ConfigurationError(
+            f"element value {int(elements.max())} exceeds {bit_width}-bit range"
+        )
+
+    total_bits = row_bytes * 8
+    bit_array = np.zeros(total_bits, dtype=np.uint8)
+    for i, value in enumerate(elements.tolist()):
+        for b in range(bit_width):
+            bit_array[i * bit_width + b] = (value >> b) & 1
+    return np.packbits(bit_array, bitorder="little")
+
+
+def unpack_elements(row: np.ndarray, bit_width: int, count: int) -> np.ndarray:
+    """Unpack ``count`` integer elements of ``bit_width`` bits from row bytes.
+
+    Inverse of :func:`pack_elements`.
+    """
+    if bit_width <= 0:
+        raise ConfigurationError(f"bit width must be positive, got {bit_width}")
+    row = np.asarray(row, dtype=np.uint8)
+    if count * bit_width > row.size * 8:
+        raise ConfigurationError(
+            f"cannot unpack {count} x {bit_width}-bit elements from "
+            f"{row.size} bytes"
+        )
+    bit_array = np.unpackbits(row, bitorder="little")
+    values = np.zeros(count, dtype=np.uint64)
+    for i in range(count):
+        value = 0
+        base = i * bit_width
+        for b in range(bit_width):
+            value |= int(bit_array[base + b]) << b
+        values[i] = value
+    return values
+
+
+def interleave_operands(
+    left: np.ndarray, right: np.ndarray, left_bits: int, right_bits: int
+) -> np.ndarray:
+    """Combine two operand vectors into LUT indices ``(left << right_bits) | right``.
+
+    This is the operand layout produced by the pLUTo compiler before a binary
+    LUT query (Section 6.3): the left operand is shifted and OR-merged with
+    the right operand so a single LUT indexed by the concatenation computes
+    the binary function.
+    """
+    left = np.asarray(left, dtype=np.uint64)
+    right = np.asarray(right, dtype=np.uint64)
+    if left.shape != right.shape:
+        raise ConfigurationError(
+            f"operand shapes differ: {left.shape} vs {right.shape}"
+        )
+    if left.size and int(left.max()) > mask_of(left_bits):
+        raise ConfigurationError("left operand exceeds its declared bit width")
+    if right.size and int(right.max()) > mask_of(right_bits):
+        raise ConfigurationError("right operand exceeds its declared bit width")
+    return (left << np.uint64(right_bits)) | right
+
+
+def split_interleaved(
+    indices: np.ndarray, left_bits: int, right_bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split interleaved LUT indices back into (left, right) operand vectors."""
+    indices = np.asarray(indices, dtype=np.uint64)
+    right = indices & np.uint64(mask_of(right_bits))
+    left = (indices >> np.uint64(right_bits)) & np.uint64(mask_of(left_bits))
+    return left, right

@@ -1,0 +1,87 @@
+"""Q-format fixed-point helpers.
+
+The vector point-wise multiplication workload (Table 4) uses Q1.7 and Q1.15
+fixed-point formats.  A ``Qm.n`` number has one sign bit, ``m-1`` integer
+bits and ``n`` fractional bits, stored in two's complement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["QFormat", "to_fixed", "from_fixed"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed Qm.n fixed-point format.
+
+    Attributes
+    ----------
+    integer_bits:
+        Number of integer bits including the sign bit (``m``).
+    fractional_bits:
+        Number of fractional bits (``n``).
+    """
+
+    integer_bits: int
+    fractional_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 1:
+            raise ConfigurationError("Q format needs at least the sign bit")
+        if self.fractional_bits < 0:
+            raise ConfigurationError("fractional bits must be non-negative")
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage width in bits."""
+        return self.integer_bits + self.fractional_bits
+
+    @property
+    def scale(self) -> int:
+        """Scaling factor 2**n applied to real values."""
+        return 1 << self.fractional_bits
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return -(1 << (self.integer_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return (1 << (self.integer_bits - 1)) - 1.0 / self.scale
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q{self.integer_bits}.{self.fractional_bits}"
+
+
+#: The two formats evaluated in the paper's multiplication workload.
+Q1_7 = QFormat(integer_bits=1, fractional_bits=7)
+Q1_15 = QFormat(integer_bits=1, fractional_bits=15)
+
+
+def to_fixed(values: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Quantize real ``values`` into the two's-complement integer encoding.
+
+    Values are clipped to the representable range and rounded to nearest.
+    The result is an unsigned integer array holding the raw bit patterns
+    (suitable for packing into DRAM rows).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    clipped = np.clip(values, fmt.min_value, fmt.max_value)
+    scaled = np.round(clipped * fmt.scale).astype(np.int64)
+    return (scaled & ((1 << fmt.total_bits) - 1)).astype(np.uint64)
+
+
+def from_fixed(raw: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Decode raw two's-complement bit patterns back into real values."""
+    raw = np.asarray(raw, dtype=np.uint64).astype(np.int64)
+    sign_bit = 1 << (fmt.total_bits - 1)
+    signed = np.where(raw & sign_bit, raw - (1 << fmt.total_bits), raw)
+    return signed.astype(np.float64) / fmt.scale

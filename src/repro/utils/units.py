@@ -1,0 +1,72 @@
+"""Unit constants and small numeric helpers.
+
+All internal timing values are expressed in **nanoseconds** and all internal
+energy values in **nanojoules** unless a docstring says otherwise; these
+constants make conversions explicit at call sites.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = [
+    "PICO",
+    "NANO",
+    "MICRO",
+    "MILLI",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "format_time",
+    "format_energy",
+    "geometric_mean",
+]
+
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+
+def format_time(nanoseconds: float) -> str:
+    """Render a duration given in nanoseconds with a sensible unit."""
+    if nanoseconds < 0:
+        return f"-{format_time(-nanoseconds)}"
+    if nanoseconds < 1e3:
+        return f"{nanoseconds:.2f} ns"
+    if nanoseconds < 1e6:
+        return f"{nanoseconds / 1e3:.2f} us"
+    if nanoseconds < 1e9:
+        return f"{nanoseconds / 1e6:.2f} ms"
+    return f"{nanoseconds / 1e9:.2f} s"
+
+
+def format_energy(nanojoules: float) -> str:
+    """Render an energy given in nanojoules with a sensible unit."""
+    if nanojoules < 0:
+        return f"-{format_energy(-nanojoules)}"
+    if nanojoules < 1e3:
+        return f"{nanojoules:.2f} nJ"
+    if nanojoules < 1e6:
+        return f"{nanojoules / 1e3:.2f} uJ"
+    if nanojoules < 1e9:
+        return f"{nanojoules / 1e6:.2f} mJ"
+    return f"{nanojoules / 1e9:.2f} J"
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    The paper reports GMEAN columns in Figures 7-10 and 14; this helper is
+    shared by all experiment classes.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence is undefined")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,75 @@
+"""Common interface of the evaluated workloads (Table 4).
+
+Every workload provides three things:
+
+1. ``recipe`` — the :class:`~repro.core.recipe.WorkloadRecipe` describing
+   its in-memory command mix and baseline characteristics (consumed by the
+   pLUTo engine and the baseline models for Figures 7-10).
+2. ``generate_input`` / ``reference`` — a deterministic input generator
+   and a host-side reference implementation, used to verify correctness.
+3. ``lut_reference`` — the same computation expressed through the LUT
+   decomposition pLUTo would use (LUT queries plus cheap glue), used to
+   verify that the LUT decomposition is exact before any hardware model is
+   involved.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.recipe import WorkloadRecipe
+from repro.errors import WorkloadError
+
+__all__ = ["Workload"]
+
+
+class Workload(abc.ABC):
+    """Abstract evaluated workload."""
+
+    #: Name used in figures (matches the paper's labels).
+    name: str = "workload"
+    #: Default input size (elements) used by the evaluation harness.
+    default_elements: int = 1 << 20
+
+    # ------------------------------------------------------------------ #
+    # Characterisation
+    # ------------------------------------------------------------------ #
+    @property
+    @abc.abstractmethod
+    def recipe(self) -> WorkloadRecipe:
+        """The workload's in-memory command mix and baseline characteristics."""
+
+    # ------------------------------------------------------------------ #
+    # Functional behaviour
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def generate_input(self, elements: int, seed: int = 0) -> np.ndarray:
+        """Generate a deterministic input of ``elements`` elements."""
+
+    @abc.abstractmethod
+    def reference(self, data: np.ndarray) -> np.ndarray:
+        """Host-side reference implementation (ground truth)."""
+
+    @abc.abstractmethod
+    def lut_reference(self, data: np.ndarray) -> np.ndarray:
+        """The same computation via the LUT decomposition pLUTo uses."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def verify(self, elements: int = 4096, seed: int = 0) -> bool:
+        """Whether the LUT decomposition matches the reference bit-exactly."""
+        data = self.generate_input(elements, seed=seed)
+        expected = self.reference(data)
+        actual = self.lut_reference(data)
+        return bool(np.array_equal(np.asarray(expected), np.asarray(actual)))
+
+    @staticmethod
+    def _require_positive(elements: int) -> None:
+        if elements <= 0:
+            raise WorkloadError("element count must be positive")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

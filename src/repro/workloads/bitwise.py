@@ -1,0 +1,79 @@
+"""Row-level bulk bitwise logic workload (Table 4, "# LUT entries: 4").
+
+The paper expresses row-granularity AND/OR/XOR both through Ambit-style
+triple-row activation and through tiny 4-entry LUTs (1-bit operands
+concatenated into a 2-bit index).  The LUT variant is what stresses the
+pLUTo query path, so the recipe uses it; the reference and the LUT
+decomposition operate on full 8-bit bytes for convenience (the per-bit
+semantics are identical).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.luts import bitwise_lut
+from repro.core.recipe import WorkloadRecipe
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+
+__all__ = ["RowBitwise"]
+
+
+class RowBitwise(Workload):
+    """Bulk bitwise logic between two vectors (AND / OR / XOR)."""
+
+    default_elements = 1 << 22
+
+    _NUMPY_OPS = {
+        "and": np.bitwise_and,
+        "or": np.bitwise_or,
+        "xor": np.bitwise_xor,
+    }
+
+    def __init__(self, operation: str = "xor") -> None:
+        operation = operation.lower()
+        if operation not in self._NUMPY_OPS:
+            raise WorkloadError(f"unsupported bitwise workload operation {operation!r}")
+        self.operation = operation
+        self.name = operation.upper()
+        self._lut = bitwise_lut(operation, 1)
+
+    @property
+    def recipe(self) -> WorkloadRecipe:
+        return WorkloadRecipe(
+            name=self.name,
+            element_bits=2,
+            sweeps_per_row=(4,),
+            luts_loaded=(4,),
+            bitwise_aaps_per_row=0,
+            shift_commands_per_row=1,
+            moves_per_row=1,
+            output_bits_per_element=1,
+            cpu_ops_per_element=1.0,
+            kernel_ops_per_element=0.3,
+            simd_efficiency=0.5,
+            bytes_per_element=0.4,
+            serial_fraction=0.0,
+        )
+
+    def generate_input(self, elements: int, seed: int = 0) -> np.ndarray:
+        """Two byte vectors stacked as shape (2, elements)."""
+        self._require_positive(elements)
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 256, size=(2, elements), dtype=np.uint64)
+
+    def reference(self, data: np.ndarray) -> np.ndarray:
+        return self._NUMPY_OPS[self.operation](data[0], data[1])
+
+    def lut_reference(self, data: np.ndarray) -> np.ndarray:
+        """Apply the 4-entry LUT bit-position by bit-position."""
+        a, b = data[0], data[1]
+        result = np.zeros_like(a)
+        for bit in range(8):
+            a_bit = (a >> np.uint64(bit)) & np.uint64(1)
+            b_bit = (b >> np.uint64(bit)) & np.uint64(1)
+            indices = (a_bit << np.uint64(1)) | b_bit
+            out_bit = self._lut.query(indices) & np.uint64(1)
+            result |= out_bit << np.uint64(bit)
+        return result

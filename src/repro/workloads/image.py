@@ -1,0 +1,129 @@
+"""Image-processing workloads: binarization and colour grading (Table 4).
+
+Both operate on 3-channel 8-bit images with 936,000 pixels (the paper's
+configuration).  Each is a pure per-pixel 8-bit -> 8-bit mapping, i.e. a
+single 256-entry LUT query per channel value — the sweet spot of pLUTo's
+design space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.luts import binarize_lut, color_grade_lut
+from repro.core.recipe import WorkloadRecipe
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+
+__all__ = ["ImageBinarization", "ColorGrading", "synthetic_image"]
+
+#: The paper's image size: 936,000 pixels x 3 channels.
+PAPER_IMAGE_PIXELS = 936_000
+PAPER_IMAGE_CHANNELS = 3
+
+
+def synthetic_image(pixels: int, channels: int = PAPER_IMAGE_CHANNELS, seed: int = 0) -> np.ndarray:
+    """Generate a synthetic photograph-like image as flat channel values.
+
+    The generator sums a few smooth 2-D gradients with speckle noise so the
+    histogram is broad (exercising every LUT entry) rather than uniform.
+    """
+    if pixels <= 0 or channels <= 0:
+        raise WorkloadError("image dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    side = max(1, int(np.sqrt(pixels)))
+    rows = -(-pixels // side)
+    y, x = np.mgrid[0:rows, 0:side]
+    image = np.zeros((rows * side, channels))
+    for channel in range(channels):
+        gradient = (
+            0.5 * np.sin(2 * np.pi * (x / side) * (channel + 1))
+            + 0.5 * np.cos(2 * np.pi * (y / max(1, rows)) * (channel + 2))
+        ).ravel()
+        noise = rng.normal(0.0, 0.15, size=gradient.size)
+        channel_values = (gradient + noise + 1.0) / 2.0
+        image[:, channel] = np.clip(channel_values, 0.0, 1.0)
+    flat = (image[:pixels] * 255.0).round().astype(np.uint64)
+    return flat.ravel()
+
+
+class ImageBinarization(Workload):
+    """Per-pixel thresholding of an 8-bit image (ImgBin)."""
+
+    name = "ImgBin"
+    default_elements = PAPER_IMAGE_PIXELS * PAPER_IMAGE_CHANNELS
+
+    def __init__(self, threshold_fraction: float = 0.5) -> None:
+        if not 0.0 < threshold_fraction < 1.0:
+            raise WorkloadError("threshold fraction must be in (0, 1)")
+        self.threshold = int(round(threshold_fraction * 255))
+        self._lut = binarize_lut(self.threshold)
+
+    @property
+    def recipe(self) -> WorkloadRecipe:
+        return WorkloadRecipe(
+            name=self.name,
+            element_bits=8,
+            sweeps_per_row=(256,),
+            luts_loaded=(256,),
+            bitwise_aaps_per_row=0,
+            shift_commands_per_row=0,
+            moves_per_row=1,
+            output_bits_per_element=8,
+            cpu_ops_per_element=30.0,
+            kernel_ops_per_element=1.0,
+            simd_efficiency=0.05,
+            bytes_per_element=2.0,
+            serial_fraction=0.0,
+        )
+
+    def generate_input(self, elements: int, seed: int = 0) -> np.ndarray:
+        self._require_positive(elements)
+        return synthetic_image(-(-elements // PAPER_IMAGE_CHANNELS), seed=seed)[:elements]
+
+    def reference(self, data: np.ndarray) -> np.ndarray:
+        return np.where(data > self.threshold, np.uint64(255), np.uint64(0))
+
+    def lut_reference(self, data: np.ndarray) -> np.ndarray:
+        return self._lut.query(data)
+
+
+class ColorGrading(Workload):
+    """Per-channel tone-curve application (ColorGrade)."""
+
+    name = "ColorGrade"
+    default_elements = PAPER_IMAGE_PIXELS * PAPER_IMAGE_CHANNELS
+
+    def __init__(self) -> None:
+        self._lut = color_grade_lut()
+
+    @property
+    def recipe(self) -> WorkloadRecipe:
+        return WorkloadRecipe(
+            name=self.name,
+            element_bits=8,
+            sweeps_per_row=(256,),
+            luts_loaded=(256,),
+            bitwise_aaps_per_row=0,
+            shift_commands_per_row=0,
+            moves_per_row=1,
+            output_bits_per_element=8,
+            cpu_ops_per_element=48.0,
+            kernel_ops_per_element=2.0,
+            simd_efficiency=0.05,
+            bytes_per_element=2.0,
+            serial_fraction=0.0,
+        )
+
+    def generate_input(self, elements: int, seed: int = 0) -> np.ndarray:
+        self._require_positive(elements)
+        return synthetic_image(-(-elements // PAPER_IMAGE_CHANNELS), seed=seed)[:elements]
+
+    def reference(self, data: np.ndarray) -> np.ndarray:
+        """Apply the same tone curve the LUT tabulates, per channel value."""
+        normalised = data.astype(np.float64) / 255.0
+        graded = normalised * normalised * (3.0 - 2.0 * normalised)
+        return np.clip(np.round(graded * 255.0), 0, 255).astype(np.uint64)
+
+    def lut_reference(self, data: np.ndarray) -> np.ndarray:
+        return self._lut.query(data)

@@ -1,0 +1,79 @@
+"""Workload registry: the evaluated workload sets of each figure/table."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.utils.fixedpoint import Q1_7, Q1_15
+from repro.workloads.base import Workload
+from repro.workloads.bitcount import BitCount
+from repro.workloads.bitwise import RowBitwise
+from repro.workloads.crc import CrcWorkload
+from repro.workloads.image import ColorGrading, ImageBinarization
+from repro.workloads.salsa20 import Salsa20Workload
+from repro.workloads.vector_ops import VectorAddition, VectorMultiplication
+from repro.workloads.vmpc import VmpcWorkload
+
+__all__ = [
+    "all_workloads",
+    "figure7_workloads",
+    "figure9_workloads",
+    "workload_by_name",
+]
+
+
+def all_workloads() -> list[Workload]:
+    """Every workload of Table 4 (eleven in total)."""
+    return [
+        VectorAddition(4),
+        VectorMultiplication(Q1_7),
+        VectorMultiplication(Q1_15),
+        RowBitwise("and"),
+        RowBitwise("or"),
+        RowBitwise("xor"),
+        BitCount(4),
+        BitCount(8),
+        CrcWorkload(8),
+        CrcWorkload(16),
+        CrcWorkload(32),
+        Salsa20Workload(),
+        VmpcWorkload(),
+        ImageBinarization(),
+        ColorGrading(),
+    ]
+
+
+def figure7_workloads() -> list[Workload]:
+    """The workloads plotted in Figures 7, 8, 10, and 13."""
+    return [
+        CrcWorkload(8),
+        CrcWorkload(16),
+        CrcWorkload(32),
+        Salsa20Workload(),
+        VmpcWorkload(),
+        ImageBinarization(),
+        ColorGrading(),
+    ]
+
+
+def figure9_workloads() -> list[Workload]:
+    """The workloads plotted in Figure 9 (comparison against the FPGA)."""
+    return [
+        VectorAddition(4),
+        VectorAddition(8),
+        VectorMultiplication(Q1_7),
+        VectorMultiplication(Q1_15),
+        BitCount(4),
+        BitCount(8),
+        CrcWorkload(8),
+        CrcWorkload(16),
+        CrcWorkload(32),
+        ImageBinarization(),
+    ]
+
+
+def workload_by_name(name: str) -> Workload:
+    """Look up one workload instance by its figure label."""
+    for workload in all_workloads() + [VectorAddition(8)]:
+        if workload.name.lower() == name.lower():
+            return workload
+    raise WorkloadError(f"unknown workload {name!r}")

@@ -1,0 +1,184 @@
+"""Salsa20 stream cipher workload (Table 4, 512-byte packets).
+
+The reference is a from-scratch Salsa20/20 implementation (Bernstein's
+specification): a 16-word state hashed by 20 rounds of quarter-rounds
+(add-rotate-xor), producing a 64-byte keystream block that is XORed with
+the plaintext.
+
+The pLUTo mapping keeps the ARX structure: 32-bit additions decompose into
+byte-wide LUT additions with carry propagation (four 256-entry queries plus
+carry handling per addition), rotations map to DRISA shifts, and XORs map
+to Ambit bulk operations.  The LUT decomposition is verified by
+``lut_reference``, which re-implements the 32-bit adder on top of an 8-bit
+addition LUT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.luts import add_lut
+from repro.core.recipe import WorkloadRecipe
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+
+__all__ = ["Salsa20Workload", "salsa20_block"]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(value: int, amount: int) -> int:
+    value &= _MASK32
+    return ((value << amount) | (value >> (32 - amount))) & _MASK32
+
+
+def _quarter_round(y0: int, y1: int, y2: int, y3: int, add32) -> tuple[int, int, int, int]:
+    z1 = y1 ^ _rotl32(add32(y0, y3), 7)
+    z2 = y2 ^ _rotl32(add32(z1, y0), 9)
+    z3 = y3 ^ _rotl32(add32(z2, z1), 13)
+    z0 = y0 ^ _rotl32(add32(z3, z2), 18)
+    return z0, z1, z2, z3
+
+
+def _row_round(state: list[int], add32) -> list[int]:
+    s = list(state)
+    s[0], s[1], s[2], s[3] = _quarter_round(s[0], s[1], s[2], s[3], add32)
+    s[5], s[6], s[7], s[4] = _quarter_round(s[5], s[6], s[7], s[4], add32)
+    s[10], s[11], s[8], s[9] = _quarter_round(s[10], s[11], s[8], s[9], add32)
+    s[15], s[12], s[13], s[14] = _quarter_round(s[15], s[12], s[13], s[14], add32)
+    return s
+
+
+def _column_round(state: list[int], add32) -> list[int]:
+    s = list(state)
+    s[0], s[4], s[8], s[12] = _quarter_round(s[0], s[4], s[8], s[12], add32)
+    s[5], s[9], s[13], s[1] = _quarter_round(s[5], s[9], s[13], s[1], add32)
+    s[10], s[14], s[2], s[6] = _quarter_round(s[10], s[14], s[2], s[6], add32)
+    s[15], s[3], s[7], s[11] = _quarter_round(s[15], s[3], s[7], s[11], add32)
+    return s
+
+
+def salsa20_block(state_words: list[int], rounds: int = 20, add32=None) -> list[int]:
+    """Run the Salsa20 core on a 16-word state and return 16 output words.
+
+    ``add32`` lets callers substitute the 32-bit adder (the pLUTo path uses
+    a byte-LUT-based adder); the default is ordinary modular addition.
+    """
+    if len(state_words) != 16:
+        raise WorkloadError("the Salsa20 state has exactly 16 words")
+    if rounds % 2:
+        raise WorkloadError("Salsa20 uses an even number of rounds")
+    if add32 is None:
+        add32 = lambda a, b: (a + b) & _MASK32  # noqa: E731 - tiny local adder
+    state = [w & _MASK32 for w in state_words]
+    working = list(state)
+    for _ in range(rounds // 2):
+        working = _column_round(working, add32)
+        working = _row_round(working, add32)
+    return [add32(working[i], state[i]) for i in range(16)]
+
+
+class Salsa20Workload(Workload):
+    """Salsa20/20 keystream encryption of 512-byte packets."""
+
+    name = "Salsa20"
+    default_elements = 1 << 20  # total plaintext bytes
+
+    #: Fixed 256-bit key and 64-bit nonce used for deterministic evaluation.
+    _KEY = bytes(range(32))
+    _NONCE = bytes(range(8))
+    _SIGMA = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+
+    def __init__(self, packet_bytes: int = 512) -> None:
+        if packet_bytes % 64:
+            raise WorkloadError("packet size must be a multiple of the 64-byte block")
+        self.packet_bytes = packet_bytes
+        self._add8 = add_lut(8)
+
+    @property
+    def recipe(self) -> WorkloadRecipe:
+        # Per byte of plaintext: 20 rounds x 4 quarter-rounds over a 64-byte
+        # block boil down to ~5 32-bit additions, ~5 XORs and ~5 rotations
+        # per byte.  Each 32-bit addition maps to one byte-wide 256-entry
+        # LUT query per byte lane (carries merged with bitwise operations),
+        # so ~5 LUT sweeps per source row; XORs map to Ambit AAPs and
+        # rotations to DRISA shifts.
+        return WorkloadRecipe(
+            name=self.name,
+            element_bits=8,
+            sweeps_per_row=tuple([256] * 5),
+            luts_loaded=(256,),
+            bitwise_aaps_per_row=15,
+            shift_commands_per_row=5,
+            moves_per_row=2,
+            output_bits_per_element=8,
+            cpu_ops_per_element=20.0,
+            kernel_ops_per_element=18.0,
+            simd_efficiency=0.03,
+            bytes_per_element=2.0,
+            serial_fraction=0.0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Input generation and references
+    # ------------------------------------------------------------------ #
+    def generate_input(self, elements: int, seed: int = 0) -> np.ndarray:
+        self._require_positive(elements)
+        packets = max(1, elements // self.packet_bytes)
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 256, size=packets * self.packet_bytes, dtype=np.uint64)
+
+    def reference(self, data: np.ndarray) -> np.ndarray:
+        return self._encrypt(data, use_lut_adder=False)
+
+    def lut_reference(self, data: np.ndarray) -> np.ndarray:
+        return self._encrypt(data, use_lut_adder=True)
+
+    # ------------------------------------------------------------------ #
+    # Implementation
+    # ------------------------------------------------------------------ #
+    def _initial_state(self, block_counter: int) -> list[int]:
+        key_words = [
+            int.from_bytes(self._KEY[i : i + 4], "little") for i in range(0, 32, 4)
+        ]
+        nonce_words = [
+            int.from_bytes(self._NONCE[i : i + 4], "little") for i in range(0, 8, 4)
+        ]
+        counter_words = [block_counter & _MASK32, (block_counter >> 32) & _MASK32]
+        sigma = self._SIGMA
+        return [
+            sigma[0], key_words[0], key_words[1], key_words[2],
+            key_words[3], sigma[1], nonce_words[0], nonce_words[1],
+            counter_words[0], counter_words[1], sigma[2], key_words[4],
+            key_words[5], key_words[6], key_words[7], sigma[3],
+        ]
+
+    def _lut_add32(self, a: int, b: int) -> int:
+        """32-bit addition built from four byte-wide LUT additions."""
+        result = 0
+        carry = 0
+        for byte_index in range(4):
+            a_byte = (a >> (8 * byte_index)) & 0xFF
+            b_byte = (b >> (8 * byte_index)) & 0xFF
+            partial = int(self._add8.query(np.array([(a_byte << 8) | b_byte]))[0])
+            partial += carry
+            result |= (partial & 0xFF) << (8 * byte_index)
+            carry = partial >> 8
+        return result & _MASK32
+
+    def _keystream(self, blocks: int, use_lut_adder: bool) -> np.ndarray:
+        adder = self._lut_add32 if use_lut_adder else None
+        stream = np.zeros(blocks * 64, dtype=np.uint64)
+        for block in range(blocks):
+            words = salsa20_block(self._initial_state(block), add32=adder)
+            for i, word in enumerate(words):
+                for j in range(4):
+                    stream[block * 64 + 4 * i + j] = (word >> (8 * j)) & 0xFF
+        return stream
+
+    def _encrypt(self, data: np.ndarray, *, use_lut_adder: bool) -> np.ndarray:
+        data = np.asarray(data, dtype=np.uint64)
+        if data.size % 64:
+            raise WorkloadError("plaintext length must be a multiple of 64 bytes")
+        keystream = self._keystream(data.size // 64, use_lut_adder)
+        return data ^ keystream

@@ -1,0 +1,164 @@
+"""Vector arithmetic workloads: LUT-based addition and Q-format multiplication.
+
+* ``VectorAddition`` — element-wise addition of two 4-bit vectors via a
+  single 256-entry LUT query per element pair (Table 4, "Vector Addition,
+  LUT-based").
+* ``VectorMultiplication`` — element-wise Q1.7 or Q1.15 fixed-point
+  multiplication.  An 8x8 multiplier LUT would need 65,536 entries (far
+  more than a subarray's rows), so the pLUTo decomposition splits each
+  operand into 4-bit nibbles and combines four 256-entry partial-product
+  LUT queries with shifts and LUT-based additions, exactly the kind of
+  decomposition Section 5.6 calls for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.luts import add_lut, multiply_lut
+from repro.core.recipe import WorkloadRecipe
+from repro.utils.fixedpoint import Q1_7, Q1_15, QFormat, from_fixed, to_fixed
+from repro.workloads.base import Workload
+
+__all__ = ["VectorAddition", "VectorMultiplication"]
+
+
+class VectorAddition(Workload):
+    """LUT-based element-wise addition of 4-bit operands."""
+
+    name = "ADD4"
+    default_elements = 1 << 22
+
+    def __init__(self, operand_bits: int = 4) -> None:
+        self.operand_bits = operand_bits
+        self._lut = add_lut(operand_bits)
+        self.name = f"ADD{operand_bits}"
+
+    @property
+    def recipe(self) -> WorkloadRecipe:
+        lut_entries = 1 << (2 * self.operand_bits)
+        return WorkloadRecipe(
+            name=self.name,
+            element_bits=2 * self.operand_bits,
+            sweeps_per_row=(lut_entries,),
+            luts_loaded=(lut_entries,),
+            bitwise_aaps_per_row=4,  # operand merge (shift is separate)
+            shift_commands_per_row=self.operand_bits // 8 + self.operand_bits % 8,
+            moves_per_row=1,
+            output_bits_per_element=self.operand_bits + 1,
+            cpu_ops_per_element=3.0,
+            kernel_ops_per_element=1.0,
+            simd_efficiency=0.2,
+            bytes_per_element=3.0,
+            serial_fraction=0.0,
+        )
+
+    def generate_input(self, elements: int, seed: int = 0) -> np.ndarray:
+        """Two operand vectors stacked as shape (2, elements)."""
+        self._require_positive(elements)
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 1 << self.operand_bits, size=(2, elements), dtype=np.uint64)
+
+    def reference(self, data: np.ndarray) -> np.ndarray:
+        return data[0] + data[1]
+
+    def lut_reference(self, data: np.ndarray) -> np.ndarray:
+        indices = (data[0] << np.uint64(self.operand_bits)) | data[1]
+        return self._lut.query(indices)
+
+
+class VectorMultiplication(Workload):
+    """Q-format point-wise multiplication decomposed into nibble LUTs."""
+
+    default_elements = 1 << 21
+
+    def __init__(self, q_format: QFormat = Q1_7) -> None:
+        self.q_format = q_format
+        self.operand_bits = q_format.total_bits
+        self.name = f"MUL{self.operand_bits}"
+        self._mul4 = multiply_lut(4)
+        self._nibbles = self.operand_bits // 4
+
+    @property
+    def recipe(self) -> WorkloadRecipe:
+        # Each operand splits into `nibbles` 4-bit digits; the schoolbook
+        # product needs nibbles^2 partial products (256-entry LUT queries)
+        # plus (nibbles^2 - 1) LUT-based additions to accumulate them.
+        partial_products = self._nibbles * self._nibbles
+        additions = partial_products - 1
+        sweeps = tuple([256] * (partial_products + additions))
+        return WorkloadRecipe(
+            name=self.name,
+            element_bits=8,
+            sweeps_per_row=sweeps,
+            luts_loaded=(256, 256),
+            bitwise_aaps_per_row=4 * partial_products,
+            shift_commands_per_row=2 * partial_products,
+            moves_per_row=2,
+            output_bits_per_element=2 * self.operand_bits,
+            cpu_ops_per_element=6.0 if self.operand_bits <= 8 else 8.0,
+            kernel_ops_per_element=3.0 if self.operand_bits <= 8 else 6.0,
+            simd_efficiency=0.2,
+            bytes_per_element=2.0 * self.operand_bits / 8 + 2.0 * self.operand_bits / 8,
+            serial_fraction=0.0,
+        )
+
+    def generate_input(self, elements: int, seed: int = 0) -> np.ndarray:
+        """Two real-valued operand vectors in the Q format's range."""
+        self._require_positive(elements)
+        rng = np.random.default_rng(seed)
+        low, high = self.q_format.min_value, self.q_format.max_value
+        return rng.uniform(low, high, size=(2, elements))
+
+    def reference(self, data: np.ndarray) -> np.ndarray:
+        """Fixed-point product re-quantized to the Q format (raw bit patterns)."""
+        a = to_fixed(data[0], self.q_format).astype(np.int64)
+        b = to_fixed(data[1], self.q_format).astype(np.int64)
+        signed_a = self._to_signed(a)
+        signed_b = self._to_signed(b)
+        product = signed_a * signed_b
+        scaled = product >> self.q_format.fractional_bits
+        return (scaled & ((1 << self.q_format.total_bits) - 1)).astype(np.uint64)
+
+    def lut_reference(self, data: np.ndarray) -> np.ndarray:
+        """Nibble-decomposed multiplication using only 4x4 multiplier LUTs."""
+        a = to_fixed(data[0], self.q_format).astype(np.uint64)
+        b = to_fixed(data[1], self.q_format).astype(np.uint64)
+        bits = self.operand_bits
+        product = np.zeros(a.shape, dtype=np.object_)
+        product[:] = 0
+        a_int = a.astype(object)
+        b_int = b.astype(object)
+        for i in range(self._nibbles):
+            for j in range(self._nibbles):
+                a_nib = np.array([(int(x) >> (4 * i)) & 0xF for x in a_int], dtype=np.uint64)
+                b_nib = np.array([(int(x) >> (4 * j)) & 0xF for x in b_int], dtype=np.uint64)
+                indices = (a_nib << np.uint64(4)) | b_nib
+                partial = self._mul4.query(indices).astype(object)
+                shift = 4 * (i + j)
+                product = product + (partial << shift)
+        # Interpret the unsigned schoolbook product as a signed 2N-bit value.
+        full_mask = (1 << (2 * bits)) - 1
+        sign_bit = 1 << (2 * bits - 1)
+        corrected = []
+        for x, ai, bi in zip(product, a_int, b_int):
+            value = int(x)
+            # Convert unsigned operand products to signed semantics:
+            # (a - 2^bits*sa) * (b - 2^bits*sb) expanded.
+            sa = (int(ai) >> (bits - 1)) & 1
+            sb = (int(bi) >> (bits - 1)) & 1
+            value -= (int(bi) << bits) * sa
+            value -= (int(ai) << bits) * sb
+            value += (sa & sb) << (2 * bits)
+            value &= full_mask
+            if value & sign_bit:
+                value -= 1 << (2 * bits)
+            corrected.append(value >> self.q_format.fractional_bits)
+        return np.array(
+            [c & ((1 << bits) - 1) for c in corrected], dtype=np.uint64
+        )
+
+    def _to_signed(self, raw: np.ndarray) -> np.ndarray:
+        bits = self.q_format.total_bits
+        sign_bit = 1 << (bits - 1)
+        return np.where(raw & sign_bit, raw - (1 << bits), raw)

@@ -1,0 +1,138 @@
+"""VMPC stream cipher workload (Table 4, 512-byte packets).
+
+VMPC (Zoltak, FSE 2004) is an RC4-style stream cipher built around a
+256-byte permutation ``P`` and the VMPC one-way function.  Every output
+byte requires three nested permutation lookups — exactly the substitution-
+table pattern pLUTo accelerates with 256-entry LUT queries — but the state
+update is strictly serial, which is what makes VMPC slow on processors.
+
+The reference implements the cipher directly on a Python list; the LUT
+variant routes every permutation lookup through a
+:class:`~repro.core.lut.LookupTable` (rebuilt whenever the permutation
+changes) to validate the LUT-query decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lut import LookupTable
+from repro.core.recipe import WorkloadRecipe
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+
+__all__ = ["VmpcWorkload", "vmpc_ksa", "vmpc_keystream"]
+
+
+def vmpc_ksa(key: bytes, vector: bytes) -> tuple[list[int], int]:
+    """VMPC key scheduling: initialise the permutation P and index s."""
+    if not key or not vector:
+        raise WorkloadError("VMPC needs a non-empty key and initialisation vector")
+    permutation = list(range(256))
+    s = 0
+    for source in (key, vector, key):
+        for m in range(768):
+            n = m & 0xFF
+            s = permutation[(s + permutation[n] + source[m % len(source)]) & 0xFF]
+            permutation[n], permutation[s] = permutation[s], permutation[n]
+    return permutation, s
+
+
+def vmpc_keystream(
+    permutation: list[int], s: int, length: int, lookup=None
+) -> tuple[np.ndarray, list[int], int]:
+    """Generate ``length`` keystream bytes; returns (stream, P, s).
+
+    ``lookup`` optionally replaces direct permutation indexing (the pLUTo
+    LUT-query path supplies a LUT-backed lookup here).
+    """
+    if lookup is None:
+        lookup = lambda table, index: table[index]  # noqa: E731 - direct indexing
+    p = list(permutation)
+    stream = np.zeros(length, dtype=np.uint64)
+    n = 0
+    for i in range(length):
+        a = lookup(p, n)
+        s = lookup(p, (s + a) & 0xFF)
+        out_index = (lookup(p, lookup(p, s)) + 1) & 0xFF
+        stream[i] = lookup(p, out_index)
+        p[n], p[s] = p[s], p[n]
+        n = (n + 1) & 0xFF
+    return stream, p, s
+
+
+class VmpcWorkload(Workload):
+    """VMPC keystream encryption of 512-byte packets."""
+
+    name = "VMPC"
+    default_elements = 1 << 19  # total plaintext bytes
+
+    _KEY = bytes(range(1, 17))
+    _VECTOR = bytes(range(16, 32))
+
+    def __init__(self, packet_bytes: int = 512) -> None:
+        if packet_bytes <= 0:
+            raise WorkloadError("packet size must be positive")
+        self.packet_bytes = packet_bytes
+
+    @property
+    def recipe(self) -> WorkloadRecipe:
+        # Three nested permutation lookups per output byte map to three
+        # 256-entry LUT queries; the permutation swap is an in-row update.
+        return WorkloadRecipe(
+            name=self.name,
+            element_bits=8,
+            sweeps_per_row=(256, 256, 256, 256),
+            luts_loaded=(256,),
+            bitwise_aaps_per_row=6,
+            shift_commands_per_row=0,
+            moves_per_row=2,
+            output_bits_per_element=8,
+            cpu_ops_per_element=15.0,
+            kernel_ops_per_element=10.0,
+            simd_efficiency=0.015,  # strictly serial state update per stream
+            bytes_per_element=2.0,
+            serial_fraction=0.0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Input generation and references
+    # ------------------------------------------------------------------ #
+    def generate_input(self, elements: int, seed: int = 0) -> np.ndarray:
+        self._require_positive(elements)
+        packets = max(1, elements // self.packet_bytes)
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 256, size=packets * self.packet_bytes, dtype=np.uint64)
+
+    def reference(self, data: np.ndarray) -> np.ndarray:
+        return self._encrypt(data, use_lut=False)
+
+    def lut_reference(self, data: np.ndarray) -> np.ndarray:
+        return self._encrypt(data, use_lut=True)
+
+    # ------------------------------------------------------------------ #
+    # Implementation
+    # ------------------------------------------------------------------ #
+    def _encrypt(self, data: np.ndarray, *, use_lut: bool) -> np.ndarray:
+        data = np.asarray(data, dtype=np.uint64)
+        permutation, s = vmpc_ksa(self._KEY, self._VECTOR)
+        lookup = self._lut_lookup() if use_lut else None
+        keystream, _, _ = vmpc_keystream(permutation, s, data.size, lookup=lookup)
+        return data ^ keystream
+
+    @staticmethod
+    def _lut_lookup():
+        """Permutation lookup routed through a LookupTable (rebuilt on change)."""
+        cache: dict[tuple[int, ...], LookupTable] = {}
+
+        def lookup(table: list[int], index: int) -> int:
+            key = tuple(table)
+            lut = cache.get(key)
+            if lut is None:
+                lut = LookupTable(
+                    values=key, index_bits=8, element_bits=8, name="vmpc-p"
+                )
+                cache[key] = lut
+            return int(lut.query(np.array([index]))[0])
+
+        return lookup

@@ -1,0 +1,156 @@
+"""Tests for the CPU/GPU/FPGA/PnM and prior-PuM baseline models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import BaselineCost
+from repro.baselines.pnm import HMC_PNM, PnmBaseline
+from repro.baselines.prior_pum import AMBIT, DRISA_SYSTEM, LACC, PRIOR_PUM_SYSTEMS, SIMDRAM
+from repro.baselines.processor import (
+    CPU_XEON_5118,
+    FPGA_ZCU102,
+    GPU_RTX_3080TI,
+    ProcessorBaseline,
+)
+from repro.core.recipe import WorkloadRecipe
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def streaming_recipe() -> WorkloadRecipe:
+    """A simple 8-bit streaming workload (one 256-entry LUT query per value)."""
+    return WorkloadRecipe(
+        name="stream",
+        element_bits=8,
+        sweeps_per_row=(256,),
+        luts_loaded=(256,),
+        cpu_ops_per_element=10.0,
+        kernel_ops_per_element=2.0,
+        simd_efficiency=0.1,
+        bytes_per_element=2.0,
+    )
+
+
+class TestProcessorBaselines:
+    def test_latency_and_energy_positive(self, streaming_recipe):
+        for spec in (CPU_XEON_5118, GPU_RTX_3080TI, FPGA_ZCU102):
+            cost = ProcessorBaseline(spec).evaluate(streaming_recipe, 1 << 20)
+            assert cost.latency_ns > 0
+            assert cost.energy_nj > 0
+            assert cost.system == spec.name
+
+    def test_gpu_faster_than_cpu_on_streaming_work(self, streaming_recipe):
+        cpu = ProcessorBaseline(CPU_XEON_5118).latency_ns(streaming_recipe, 1 << 22)
+        gpu = ProcessorBaseline(GPU_RTX_3080TI).latency_ns(streaming_recipe, 1 << 22)
+        assert gpu < cpu
+
+    def test_gpu_bounded_by_host_transfer(self):
+        recipe = WorkloadRecipe(
+            name="light",
+            element_bits=8,
+            cpu_ops_per_element=1.0,
+            simd_efficiency=1.0,
+            bytes_per_element=2.0,
+        )
+        elements = 1 << 24
+        cost = ProcessorBaseline(GPU_RTX_3080TI).evaluate(recipe, elements)
+        transfer_ns = elements * recipe.bytes_per_element / 12.0
+        assert cost.latency_ns >= transfer_ns
+
+    def test_fpga_uses_kernel_ops(self):
+        heavy_library = WorkloadRecipe(
+            name="library",
+            element_bits=8,
+            cpu_ops_per_element=100.0,
+            kernel_ops_per_element=1.0,
+        )
+        light_library = WorkloadRecipe(
+            name="thin",
+            element_bits=8,
+            cpu_ops_per_element=1.0,
+            kernel_ops_per_element=1.0,
+        )
+        fpga = ProcessorBaseline(FPGA_ZCU102)
+        assert fpga.latency_ns(heavy_library, 1 << 20) == pytest.approx(
+            fpga.latency_ns(light_library, 1 << 20)
+        )
+
+    def test_simd_efficiency_slows_cpu(self):
+        fast = WorkloadRecipe(name="f", element_bits=8, cpu_ops_per_element=8.0, simd_efficiency=1.0)
+        slow = WorkloadRecipe(name="s", element_bits=8, cpu_ops_per_element=8.0, simd_efficiency=0.05)
+        cpu = ProcessorBaseline(CPU_XEON_5118)
+        assert cpu.latency_ns(slow, 1 << 22) > cpu.latency_ns(fast, 1 << 22)
+
+    def test_zero_elements_rejected(self, streaming_recipe):
+        with pytest.raises(ConfigurationError):
+            ProcessorBaseline(CPU_XEON_5118).evaluate(streaming_recipe, 0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BaselineCost(system="x", workload="w", elements=1, latency_ns=-1, energy_nj=0)
+
+
+class TestPnmBaseline:
+    def test_faster_than_cpu_for_memory_bound_work(self, streaming_recipe):
+        elements = 1 << 22
+        cpu = ProcessorBaseline(CPU_XEON_5118).latency_ns(streaming_recipe, elements)
+        pnm = PnmBaseline().latency_ns(streaming_recipe, elements)
+        assert pnm < cpu
+
+    def test_bitwise_only_work_runs_near_banks(self):
+        bitwise_recipe = WorkloadRecipe(
+            name="bitwise",
+            element_bits=2,
+            bitwise_aaps_per_row=4,
+            cpu_ops_per_element=1.0,
+            kernel_ops_per_element=1.0,
+            bytes_per_element=0.5,
+        )
+        lut_recipe = WorkloadRecipe(
+            name="lut",
+            element_bits=2,
+            sweeps_per_row=(4,),
+            cpu_ops_per_element=1.0,
+            kernel_ops_per_element=1.0,
+            bytes_per_element=0.5,
+        )
+        pnm = PnmBaseline()
+        elements = 1 << 22
+        assert pnm.latency_ns(bitwise_recipe, elements) < pnm.latency_ns(lut_recipe, elements)
+
+    def test_spec_area_exposed(self):
+        assert PnmBaseline().area_mm2 == pytest.approx(HMC_PNM.area_mm2)
+
+
+class TestPriorPum:
+    def test_table6_anchor_latencies(self):
+        # The coefficients are calibrated against Table 6's reported values.
+        assert AMBIT.addition_latency_ns(4) == pytest.approx(5081, rel=0.05)
+        assert AMBIT.multiplication_latency_ns(4) == pytest.approx(19065, rel=0.05)
+        assert SIMDRAM.addition_latency_ns(4) == pytest.approx(1585, rel=0.05)
+        assert SIMDRAM.multiplication_latency_ns(4) == pytest.approx(7451, rel=0.05)
+        assert LACC.multiplication_latency_ns(4) == pytest.approx(5365, rel=0.05)
+        assert DRISA_SYSTEM.addition_latency_ns(4) == pytest.approx(1756, rel=0.05)
+
+    def test_bitwise_latencies_close_to_table6(self):
+        assert AMBIT.bitwise_latency_ns("not") == pytest.approx(135, rel=0.1)
+        assert AMBIT.bitwise_latency_ns("and") == pytest.approx(270, rel=0.1)
+        assert DRISA_SYSTEM.bitwise_latency_ns("and") == pytest.approx(415, rel=0.05)
+
+    def test_multiplication_quadratic_in_bit_width(self):
+        for system in PRIOR_PUM_SYSTEMS:
+            ratio = system.multiplication_latency_ns(8) / system.multiplication_latency_ns(4)
+            assert ratio == pytest.approx(4.0)
+
+    def test_lacc_does_not_support_bitcount(self):
+        assert LACC.bitcount_latency_ns(4) is None
+        assert SIMDRAM.bitcount_latency_ns(4) is not None
+
+    def test_unsupported_bitwise_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AMBIT.bitwise_latency_ns("maj3")
+
+    def test_drisa_has_reduced_capacity(self):
+        assert DRISA_SYSTEM.capacity_gb == 2
+        assert all(system.capacity_gb == 8 for system in (AMBIT, SIMDRAM, LACC))

@@ -1,0 +1,246 @@
+"""Tests for LUT construction, match logic, FF buffer, and the LUT query."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.designs import DESIGN_PROPERTIES, PlutoDesign
+from repro.core.ff_buffer import FFBuffer
+from repro.core.lut import (
+    LookupTable,
+    concat_binary_lut,
+    lut_from_function,
+    replicate_lut_rows,
+    sequence_lut,
+)
+from repro.core.match_logic import MatchLogic
+from repro.core.subarray import PlutoSubarray
+from repro.dram.geometry import DRAMGeometry
+from repro.errors import ConfigurationError, LUTError, SubarrayStateError
+from repro.utils.bitops import unpack_elements
+
+
+class TestLookupTable:
+    def test_prime_example_from_paper(self):
+        lut = sequence_lut([2, 3, 5, 7], element_bits=4, name="primes")
+        # The paper's example query: the {2nd, 1st, 2nd, 4th} primes.
+        result = lut.query(np.array([1, 0, 1, 3]))
+        assert result.tolist() == [3, 2, 3, 7]
+
+    def test_from_function(self):
+        lut = lut_from_function(lambda x: x ^ 0xF, 4, 4)
+        assert lut.num_entries == 16
+        assert lut[0] == 0xF
+        assert lut[0xF] == 0
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(LUTError):
+            LookupTable(values=(1, 2, 3), index_bits=2, element_bits=4)
+
+    def test_value_overflow_rejected(self):
+        with pytest.raises(LUTError):
+            LookupTable(values=(0, 300), index_bits=1, element_bits=8)
+        with pytest.raises(LUTError):
+            lut_from_function(lambda x: 1 << 10, 2, 4)
+
+    def test_query_out_of_range_rejected(self, square_lut):
+        with pytest.raises(LUTError):
+            square_lut.query(np.array([256]))
+
+    def test_concat_binary_lut_addition(self):
+        lut = concat_binary_lut(lambda a, b: a + b, 4, 4, 8, name="add4")
+        assert lut[(3 << 4) | 9] == 12
+        assert lut[(15 << 4) | 15] == 30
+
+    def test_rows_required_checks_subarray_capacity(self, square_lut, small_geometry):
+        with pytest.raises(LUTError):
+            square_lut.rows_required(small_geometry)  # 256 entries > 64 rows
+
+    def test_replicated_rows_contain_copies(self, small_geometry):
+        lut = sequence_lut([5, 9], element_bits=8)
+        rows = replicate_lut_rows(lut, small_geometry)
+        assert rows.shape == (2, small_geometry.row_size_bytes)
+        elements = unpack_elements(rows[1], 8, small_geometry.row_size_bytes)
+        assert np.all(elements == 9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=8))
+    def test_identity_lut_property(self, bits):
+        lut = lut_from_function(lambda x: x, bits, bits)
+        indices = np.arange(lut.num_entries, dtype=np.uint64)
+        assert np.array_equal(lut.query(indices), indices)
+
+
+class TestMatchLogic:
+    def test_exact_match_positions(self):
+        logic = MatchLogic(num_comparators=6, index_bits=4)
+        result = logic.compare(np.array([1, 0, 1, 3, 2, 1]), 1)
+        assert result.matches.tolist() == [True, False, True, False, False, True]
+        assert result.match_count == 3
+
+    def test_every_input_matches_exactly_once_over_full_sweep(self, rng):
+        logic = MatchLogic(num_comparators=32, index_bits=4)
+        indices = rng.integers(0, 16, 32).astype(np.uint64)
+        histogram = logic.match_histogram(indices, 16)
+        assert histogram.sum() == 32
+
+    def test_wrong_width_rejected(self):
+        logic = MatchLogic(num_comparators=4, index_bits=4)
+        with pytest.raises(ConfigurationError):
+            logic.compare(np.array([1, 2]), 0)
+
+    def test_comparison_counter(self):
+        logic = MatchLogic(num_comparators=8, index_bits=4)
+        logic.compare(np.zeros(8, dtype=np.uint64), 0)
+        logic.compare(np.zeros(8, dtype=np.uint64), 1)
+        assert logic.comparisons == 16
+
+
+class TestFFBuffer:
+    def test_capture_on_matchlines(self):
+        buffer = FFBuffer(num_elements=4, element_bits=8)
+        buffer.capture(0xAB, np.array([True, False, False, True]))
+        assert buffer.values.tolist() == [0xAB, 0, 0, 0xAB]
+        assert not buffer.complete
+        buffer.capture(0x11, np.array([False, True, True, False]))
+        assert buffer.complete
+
+    def test_capture_vector_per_position_values(self):
+        buffer = FFBuffer(num_elements=3, element_bits=8)
+        buffer.capture_vector(
+            np.array([1, 2, 3], dtype=np.uint64), np.array([True, True, False])
+        )
+        assert buffer.values.tolist() == [1, 2, 0]
+
+    def test_reset_clears_state(self):
+        buffer = FFBuffer(num_elements=2, element_bits=4)
+        buffer.capture(5, np.array([True, True]))
+        buffer.reset()
+        assert not buffer.captured_mask.any()
+        assert buffer.values.tolist() == [0, 0]
+
+    def test_to_row_packs_elements(self):
+        buffer = FFBuffer(num_elements=4, element_bits=8)
+        buffer.capture_vector(
+            np.array([1, 2, 3, 4], dtype=np.uint64), np.ones(4, dtype=bool)
+        )
+        row = buffer.to_row(8)
+        assert np.array_equal(unpack_elements(row, 8, 4), np.array([1, 2, 3, 4]))
+
+    def test_shape_validation(self):
+        buffer = FFBuffer(num_elements=4, element_bits=8)
+        with pytest.raises(ConfigurationError):
+            buffer.capture(1, np.array([True]))
+
+
+class TestPlutoSubarrayQuery:
+    @pytest.fixture
+    def geometry(self) -> DRAMGeometry:
+        return DRAMGeometry(
+            bank_groups=1,
+            banks_per_group=1,
+            subarrays_per_bank=2,
+            rows_per_subarray=64,
+            row_size_bytes=64,
+        )
+
+    def test_query_matches_host_reference(self, geometry, any_design, rng):
+        lut = lut_from_function(lambda x: (3 * x + 1) & 0x3F, 6, 6, name="affine")
+        subarray = PlutoSubarray(geometry, any_design)
+        subarray.load_lut(lut)
+        indices = rng.integers(0, 64, subarray.elements_per_query()).astype(np.uint64)
+        values = subarray.query_indices(indices)
+        assert np.array_equal(values, lut.query(indices))
+
+    def test_gsa_requires_reload_between_queries(self, geometry, rng):
+        lut = lut_from_function(lambda x: x, 4, 4)
+        subarray = PlutoSubarray(geometry, PlutoDesign.GSA)
+        subarray.load_lut(lut)
+        indices = rng.integers(0, 16, 8).astype(np.uint64)
+        subarray.query_indices(indices)
+        assert not subarray.lut_valid
+        with pytest.raises(SubarrayStateError):
+            subarray.query_indices(indices)
+        subarray.reload_lut()
+        assert np.array_equal(subarray.query_indices(indices), indices)
+
+    def test_non_destructive_designs_keep_lut(self, geometry, rng):
+        for design in (PlutoDesign.BSA, PlutoDesign.GMC):
+            lut = lut_from_function(lambda x: x ^ 0x5, 4, 4)
+            subarray = PlutoSubarray(geometry, design)
+            subarray.load_lut(lut)
+            indices = rng.integers(0, 16, 8).astype(np.uint64)
+            subarray.query_indices(indices)
+            assert subarray.lut_valid
+            assert np.array_equal(subarray.query_indices(indices), lut.query(indices))
+
+    def test_out_of_range_index_rejected(self, geometry):
+        lut = lut_from_function(lambda x: x, 3, 3)
+        subarray = PlutoSubarray(geometry, PlutoDesign.BSA)
+        subarray.load_lut(lut)
+        with pytest.raises(LUTError):
+            subarray.query_indices(np.array([9], dtype=np.uint64))
+
+    def test_query_without_lut_rejected(self, geometry):
+        subarray = PlutoSubarray(geometry, PlutoDesign.BSA)
+        with pytest.raises(LUTError):
+            subarray.query_indices(np.array([0], dtype=np.uint64))
+
+    def test_too_many_indices_rejected(self, geometry):
+        lut = lut_from_function(lambda x: x, 4, 4)
+        subarray = PlutoSubarray(geometry, PlutoDesign.BSA)
+        subarray.load_lut(lut)
+        capacity = subarray.elements_per_query()
+        with pytest.raises(LUTError):
+            subarray.query_indices(np.zeros(capacity + 1, dtype=np.uint64))
+
+    def test_sweep_statistics(self, geometry, rng):
+        lut = lut_from_function(lambda x: x, 4, 4)
+        subarray = PlutoSubarray(geometry, PlutoDesign.BSA)
+        subarray.load_lut(lut)
+        from repro.utils.bitops import pack_elements
+
+        capacity = subarray.elements_per_query()
+        indices = rng.integers(0, 16, capacity).astype(np.uint64)
+        row = pack_elements(indices, 4, geometry.row_size_bytes)
+        _, statistics = subarray.query_row(row)
+        assert statistics.rows_activated == 16
+        assert statistics.matches == capacity
+        assert statistics.comparisons == 16 * capacity
+
+    def test_lut_that_does_not_fit_rejected(self, geometry):
+        lut = lut_from_function(lambda x: x, 8, 8)  # 256 rows > 64
+        subarray = PlutoSubarray(geometry, PlutoDesign.BSA)
+        with pytest.raises(LUTError):
+            subarray.load_lut(lut)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=10**6))
+    def test_query_equals_reference_property(self, index_bits, seed):
+        geometry = DRAMGeometry(
+            bank_groups=1,
+            banks_per_group=1,
+            subarrays_per_bank=1,
+            rows_per_subarray=32,
+            row_size_bytes=32,
+        )
+        rng = np.random.default_rng(seed)
+        table = rng.integers(0, 1 << index_bits, 1 << index_bits)
+        lut = LookupTable(
+            values=tuple(int(v) for v in table),
+            index_bits=index_bits,
+            element_bits=index_bits,
+        )
+        subarray = PlutoSubarray(geometry, PlutoDesign.GMC)
+        subarray.load_lut(lut)
+        indices = rng.integers(0, 1 << index_bits, 16).astype(np.uint64)
+        assert np.array_equal(subarray.query_indices(indices), lut.query(indices))
+
+    def test_design_properties_table(self):
+        assert DESIGN_PROPERTIES[PlutoDesign.GSA].destructive_reads
+        assert not DESIGN_PROPERTIES[PlutoDesign.BSA].destructive_reads
+        assert DESIGN_PROPERTIES[PlutoDesign.BSA].uses_ff_buffer
+        assert DESIGN_PROPERTIES[PlutoDesign.GMC].throughput_class == "high"

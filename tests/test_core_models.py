@@ -1,0 +1,205 @@
+"""Tests for the analytical cost model, area model, recipes, and the engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analytical import PlutoCostModel
+from repro.core.area import AreaModel
+from repro.core.designs import PlutoDesign
+from repro.core.engine import DDR4, THREE_DS, PlutoConfig, PlutoEngine
+from repro.core.recipe import WorkloadRecipe
+from repro.dram.energy import DDR4_ENERGY
+from repro.dram.timing import DDR4_2400
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def cost_model() -> PlutoCostModel:
+    return PlutoCostModel(DDR4_2400, DDR4_ENERGY, 8192, rows_per_subarray=512)
+
+
+class TestCostModel:
+    def test_table1_latency_formulas(self, cost_model):
+        n = 128
+        timing = DDR4_2400
+        assert cost_model.query_latency_ns(PlutoDesign.BSA, n) == pytest.approx(
+            (timing.t_rcd + timing.t_rp) * n
+        )
+        assert cost_model.query_latency_ns(PlutoDesign.GMC, n) == pytest.approx(
+            timing.t_rcd * n + timing.t_rp
+        )
+        gsa = cost_model.query_latency_ns(PlutoDesign.GSA, n)
+        assert gsa == pytest.approx(
+            cost_model.lisa_hop_latency_ns * n + timing.t_rcd * n + timing.t_rp
+        )
+
+    def test_table1_energy_formulas(self, cost_model):
+        n = 64
+        energy = DDR4_ENERGY
+        assert cost_model.query_energy_nj(PlutoDesign.BSA, n) == pytest.approx(
+            (energy.e_act + energy.e_pre) * n
+        )
+        assert cost_model.query_energy_nj(PlutoDesign.GMC, n) == pytest.approx(
+            energy.e_act * n + energy.e_pre
+        )
+        assert cost_model.query_energy_nj(PlutoDesign.GSA, n) == pytest.approx(
+            energy.e_lisa_rbm * n + energy.e_act * n + energy.e_pre
+        )
+
+    def test_design_ordering_from_paper(self, cost_model):
+        """GMC is fastest and most efficient; GSA is slowest and least efficient."""
+        n = 256
+        latencies = {d: cost_model.query_latency_ns(d, n) for d in PlutoDesign}
+        energies = {d: cost_model.query_energy_nj(d, n) for d in PlutoDesign}
+        assert latencies[PlutoDesign.GMC] < latencies[PlutoDesign.BSA] < latencies[PlutoDesign.GSA]
+        assert energies[PlutoDesign.GMC] < energies[PlutoDesign.BSA] < energies[PlutoDesign.GSA]
+
+    def test_gsa_vs_bsa_sweep_ratio_approaches_two(self, cost_model):
+        """Footnote 3: the BSA/GSA sweep-latency ratio approaches 2 for large N."""
+        ratio = cost_model.sweep_latency_ns(
+            PlutoDesign.BSA, 1024
+        ) / cost_model.sweep_latency_ns(PlutoDesign.GSA, 1024)
+        assert 1.8 < ratio <= 2.0
+
+    def test_throughput_decreases_with_lut_size(self, cost_model):
+        small = cost_model.throughput_queries_per_s(PlutoDesign.BSA, 16, 8)
+        large = cost_model.throughput_queries_per_s(PlutoDesign.BSA, 256, 8)
+        assert small > large
+
+    def test_large_lut_partitioning_caps_latency(self, cost_model):
+        capped = cost_model.query_latency_ns(PlutoDesign.BSA, 65536)
+        assert capped == pytest.approx(cost_model.query_latency_ns(PlutoDesign.BSA, 512))
+        # Energy still grows with the full LUT size (Section 5.6).
+        assert cost_model.query_energy_nj(PlutoDesign.BSA, 65536) > cost_model.query_energy_nj(
+            PlutoDesign.BSA, 512
+        )
+
+    def test_auxiliary_costs(self, cost_model):
+        assert cost_model.bitwise_latency_ns(4) == pytest.approx(4 * 42.48, rel=1e-3)
+        assert cost_model.shift_latency_ns(0) == 0.0
+        assert cost_model.move_latency_ns(2) == pytest.approx(2 * cost_model.lisa_hop_latency_ns)
+        with pytest.raises(ConfigurationError):
+            cost_model.query_latency_ns(PlutoDesign.BSA, 0)
+
+
+class TestAreaModel:
+    def test_overheads_match_table5(self):
+        model = AreaModel()
+        assert model.overhead(PlutoDesign.GSA) == pytest.approx(0.102, abs=0.005)
+        assert model.overhead(PlutoDesign.BSA) == pytest.approx(0.167, abs=0.005)
+        assert model.overhead(PlutoDesign.GMC) == pytest.approx(0.231, abs=0.005)
+
+    def test_component_totals_match_table5(self):
+        model = AreaModel()
+        table = model.table5()
+        assert table["Base DRAM"].total == pytest.approx(70.23, abs=0.1)
+        assert table["pLUTo-GSA"].total == pytest.approx(77.44, abs=0.2)
+        assert table["pLUTo-BSA"].total == pytest.approx(82.00, abs=0.2)
+        assert table["pLUTo-GMC"].total == pytest.approx(86.47, abs=0.2)
+
+    def test_only_gmc_modifies_the_cell(self):
+        model = AreaModel()
+        base = model.baseline.dram_cells
+        assert model.breakdown(PlutoDesign.BSA).dram_cells == pytest.approx(base)
+        assert model.breakdown(PlutoDesign.GSA).dram_cells == pytest.approx(base)
+        assert model.breakdown(PlutoDesign.GMC).dram_cells > base
+
+    def test_area_ordering(self):
+        model = AreaModel()
+        assert (
+            model.overhead(PlutoDesign.GSA)
+            < model.overhead(PlutoDesign.BSA)
+            < model.overhead(PlutoDesign.GMC)
+        )
+
+
+class TestRecipe:
+    def test_valid_recipe(self):
+        recipe = WorkloadRecipe(name="t", element_bits=8, sweeps_per_row=(256,))
+        assert recipe.total_sweep_rows == 256
+        assert recipe.uses_lut_queries
+        assert recipe.effective_kernel_ops == recipe.cpu_ops_per_element
+
+    def test_kernel_ops_override(self):
+        recipe = WorkloadRecipe(
+            name="t", element_bits=8, cpu_ops_per_element=10.0, kernel_ops_per_element=2.0
+        )
+        assert recipe.effective_kernel_ops == 2.0
+
+    def test_invalid_recipes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadRecipe(name="t", element_bits=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadRecipe(name="t", element_bits=8, sweeps_per_row=(0,))
+        with pytest.raises(ConfigurationError):
+            WorkloadRecipe(name="t", element_bits=8, serial_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadRecipe(name="t", element_bits=8, simd_efficiency=0.0)
+
+
+class TestEngine:
+    def test_default_parallelism_matches_table3(self):
+        assert PlutoConfig(memory=DDR4).effective_subarrays == 16
+        assert PlutoConfig(memory=THREE_DS).effective_subarrays == 512
+
+    def test_config_label(self):
+        assert PlutoConfig(design=PlutoDesign.BSA).label == "pLUTo-BSA"
+        assert (
+            PlutoConfig(design=PlutoDesign.GMC, memory=THREE_DS).label == "pLUTo-GMC-3DS"
+        )
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlutoConfig(memory="HBM9")
+        with pytest.raises(ConfigurationError):
+            PlutoConfig(subarrays=0)
+
+    def test_execute_scales_latency_not_energy_with_parallelism(self):
+        recipe = WorkloadRecipe(name="t", element_bits=8, sweeps_per_row=(256,))
+        few = PlutoEngine(PlutoConfig(subarrays=4)).execute(recipe, 1 << 20)
+        many = PlutoEngine(PlutoConfig(subarrays=64)).execute(recipe, 1 << 20)
+        assert few.latency_ns > many.latency_ns
+        assert few.energy_nj == pytest.approx(many.energy_nj)
+
+    def test_rows_for_ceiling_division(self, bsa_engine):
+        recipe = WorkloadRecipe(name="t", element_bits=8, sweeps_per_row=(256,))
+        per_row = bsa_engine.cost_model.elements_per_row(8)
+        assert bsa_engine.rows_for(recipe, per_row) == 1
+        assert bsa_engine.rows_for(recipe, per_row + 1) == 2
+
+    def test_gsa_slower_but_not_costlier_to_load(self):
+        recipe = WorkloadRecipe(
+            name="t", element_bits=8, sweeps_per_row=(256,), luts_loaded=(256,)
+        )
+        elements = 1 << 22
+        reports = {
+            design: PlutoEngine(PlutoConfig(design=design)).execute(recipe, elements)
+            for design in PlutoDesign
+        }
+        assert reports[PlutoDesign.GMC].latency_ns < reports[PlutoDesign.BSA].latency_ns
+        assert reports[PlutoDesign.BSA].latency_ns < reports[PlutoDesign.GSA].latency_ns
+        # The one-time LUT load cost is identical across designs.
+        loads = {r.lut_load_latency_ns for r in reports.values()}
+        assert len(loads) == 1
+
+    def test_3ds_faster_than_ddr4(self):
+        recipe = WorkloadRecipe(name="t", element_bits=8, sweeps_per_row=(256,))
+        ddr4 = PlutoEngine(PlutoConfig(memory=DDR4)).execute(recipe, 1 << 22)
+        threeds = PlutoEngine(PlutoConfig(memory=THREE_DS)).execute(recipe, 1 << 22)
+        assert threeds.latency_ns < ddr4.latency_ns
+
+    def test_static_energy_included_in_total(self, bsa_engine):
+        recipe = WorkloadRecipe(name="t", element_bits=8, sweeps_per_row=(256,))
+        report = bsa_engine.execute(recipe, 1 << 20)
+        assert report.static_energy_nj > 0
+        assert report.total_energy_nj > report.energy_nj
+
+    def test_functional_subarray_creation(self, bsa_engine, square_lut):
+        subarray = bsa_engine.create_subarray(square_lut)
+        assert subarray.lut is square_lut
+
+    def test_throughput_property(self, bsa_engine):
+        recipe = WorkloadRecipe(name="t", element_bits=8, sweeps_per_row=(256,))
+        report = bsa_engine.execute(recipe, 1 << 20)
+        assert report.throughput_elements_per_s > 0

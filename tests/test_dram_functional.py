@@ -1,0 +1,180 @@
+"""Tests for the functional DRAM models: subarray, bank, module, commands."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.commands import Command, CommandTrace, CommandType
+from repro.dram.energy import DDR4_ENERGY
+from repro.dram.module import DRAMModule
+from repro.dram.refresh import RefreshModel, RowStepper
+from repro.dram.subarray import Subarray
+from repro.dram.timing import DDR4_2400
+from repro.errors import AddressError, ConfigurationError, SubarrayStateError
+
+
+class TestSubarray:
+    def test_activate_reads_stored_row(self, small_geometry, rng):
+        subarray = Subarray(small_geometry)
+        data = rng.integers(0, 256, small_geometry.row_size_bytes).astype(np.uint8)
+        subarray.load_row(3, data)
+        assert np.array_equal(subarray.activate(3), data)
+
+    def test_activate_requires_precharge_between_rows(self, small_geometry):
+        subarray = Subarray(small_geometry)
+        subarray.activate(0)
+        with pytest.raises(SubarrayStateError):
+            subarray.activate(1)
+        subarray.precharge()
+        subarray.activate(1)
+
+    def test_write_buffer_updates_open_row(self, small_geometry):
+        subarray = Subarray(small_geometry)
+        subarray.activate(5)
+        new_data = np.full(small_geometry.row_size_bytes, 0xAB, dtype=np.uint8)
+        subarray.write_buffer(new_data)
+        subarray.precharge()
+        assert np.array_equal(subarray.peek_row(5), new_data)
+
+    def test_read_buffer_requires_open_row(self, small_geometry):
+        subarray = Subarray(small_geometry)
+        with pytest.raises(SubarrayStateError):
+            subarray.read_buffer()
+
+    def test_non_restoring_activation_destroys_row(self, small_geometry, rng):
+        subarray = Subarray(small_geometry)
+        data = rng.integers(0, 256, small_geometry.row_size_bytes).astype(np.uint8)
+        subarray.load_row(2, data)
+        subarray.activate(2, restore=False)
+        subarray.precharge()
+        assert not subarray.row_is_valid(2)
+        with pytest.raises(SubarrayStateError):
+            subarray.activate(2)
+        # Rewriting the row makes it usable again.
+        subarray.load_row(2, data)
+        assert subarray.row_is_valid(2)
+
+    def test_precharge_when_already_precharged_is_legal(self, small_geometry):
+        subarray = Subarray(small_geometry)
+        subarray.precharge()
+        assert subarray.is_precharged
+
+    def test_load_rows_bulk(self, small_geometry, rng):
+        subarray = Subarray(small_geometry)
+        block = rng.integers(0, 256, (4, small_geometry.row_size_bytes)).astype(np.uint8)
+        subarray.load_rows(10, block)
+        for offset in range(4):
+            assert np.array_equal(subarray.peek_row(10 + offset), block[offset])
+
+    def test_out_of_range_row_rejected(self, small_geometry):
+        subarray = Subarray(small_geometry)
+        with pytest.raises(ConfigurationError):
+            subarray.activate(small_geometry.rows_per_subarray)
+
+    def test_activation_counter(self, small_geometry):
+        subarray = Subarray(small_geometry)
+        for row in range(5):
+            subarray.activate(row)
+            subarray.precharge()
+        assert subarray.activation_count == 5
+        assert subarray.precharge_count == 5
+
+
+class TestBankAndModule:
+    def test_bank_read_write_row(self, small_geometry, rng):
+        bank = Bank(small_geometry)
+        data = rng.integers(0, 256, small_geometry.row_size_bytes).astype(np.uint8)
+        bank.write_row(1, 7, data)
+        assert np.array_equal(bank.read_row(1, 7), data)
+
+    def test_bank_tracks_open_subarrays(self, small_geometry):
+        bank = Bank(small_geometry)
+        bank.subarray(0).activate(0)
+        bank.subarray(2).activate(5)
+        assert bank.open_subarrays == [0, 2]
+        bank.precharge_all()
+        assert bank.open_subarrays == []
+
+    def test_module_byte_addressed_roundtrip(self, small_geometry, rng):
+        module = DRAMModule(small_geometry, instantiate_banks=2)
+        payload = rng.integers(0, 256, 3 * small_geometry.row_size_bytes + 13).astype(np.uint8)
+        module.write_bytes(41, payload)
+        assert np.array_equal(module.read_bytes(41, payload.size), payload)
+
+    def test_module_rejects_unmaterialised_bank(self, small_geometry):
+        module = DRAMModule(small_geometry, instantiate_banks=1)
+        with pytest.raises(AddressError):
+            module.bank(1)
+
+    def test_module_activation_statistics(self, small_geometry):
+        module = DRAMModule(small_geometry, instantiate_banks=1)
+        module.write_bytes(0, np.arange(10, dtype=np.uint8))
+        module.read_bytes(0, 10)
+        assert module.total_activations >= 1
+
+
+class TestCommandTrace:
+    def test_act_pre_costs(self):
+        trace = CommandTrace(timing=DDR4_2400, energy=DDR4_ENERGY)
+        trace.add_activate(row=3)
+        trace.add_precharge()
+        assert trace.total_latency_ns == pytest.approx(DDR4_2400.t_rcd + DDR4_2400.t_rp)
+        assert trace.total_energy_nj == pytest.approx(
+            DDR4_ENERGY.e_act + DDR4_ENERGY.e_pre
+        )
+
+    def test_row_sweep_override(self):
+        trace = CommandTrace(timing=DDR4_2400, energy=DDR4_ENERGY)
+        trace.add_row_sweep(1000.0, 50.0, rows=16)
+        assert trace.total_latency_ns == pytest.approx(1000.0)
+        assert trace.total_energy_nj == pytest.approx(50.0)
+        assert trace.count(CommandType.ROW_SWEEP) == 1
+
+    def test_default_row_sweep_cost_scales_with_rows(self):
+        trace = CommandTrace(timing=DDR4_2400, energy=DDR4_ENERGY)
+        trace.add(CommandType.ROW_SWEEP, rows=4)
+        assert trace.total_latency_ns == pytest.approx(4 * DDR4_2400.act_pre_cycle)
+
+    def test_merge_accumulates(self):
+        first = CommandTrace(timing=DDR4_2400, energy=DDR4_ENERGY)
+        first.add_activate()
+        second = CommandTrace(timing=DDR4_2400, energy=DDR4_ENERGY)
+        second.add_precharge()
+        first.merge(second)
+        assert len(first) == 2
+        assert first.total_latency_ns == pytest.approx(
+            DDR4_2400.t_rcd + DDR4_2400.t_rp
+        )
+
+    def test_extend_with_prebuilt_commands(self):
+        trace = CommandTrace(timing=DDR4_2400, energy=DDR4_ENERGY)
+        trace.extend([Command(CommandType.ACT), Command(CommandType.PRE)])
+        assert trace.count(CommandType.ACT) == 1
+        assert trace.count(CommandType.PRE) == 1
+
+
+class TestRefreshAndStepper:
+    def test_refresh_overhead_fraction(self):
+        model = RefreshModel(DDR4_2400)
+        assert 0.0 < model.overhead_fraction < 0.1
+
+    def test_refresh_inflates_latency(self):
+        model = RefreshModel(DDR4_2400)
+        assert model.inflate_latency(1000.0) > 1000.0
+
+    def test_refreshes_during_interval(self):
+        model = RefreshModel(DDR4_2400)
+        assert model.refreshes_during(10 * DDR4_2400.t_refi) == 10
+
+    def test_row_stepper_order(self):
+        stepper = RowStepper(64)
+        assert stepper.sweep_order(4, 4) == [4, 5, 6, 7]
+
+    def test_row_stepper_bounds(self):
+        stepper = RowStepper(16)
+        with pytest.raises(ConfigurationError):
+            stepper.sweep_order(10, 8)
+        with pytest.raises(ConfigurationError):
+            stepper.sweep_order(0, 0)

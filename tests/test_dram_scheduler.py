@@ -1,0 +1,104 @@
+"""Tests for the timing-aware command scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.scheduler import CommandScheduler
+from repro.dram.timing import DDR4_2400, TimingParameters
+from repro.errors import TimingViolationError
+
+
+def _act(bank: int, row: int = 0) -> Command:
+    return Command(CommandType.ACT, bank=bank, row=row)
+
+
+def _pre(bank: int) -> Command:
+    return Command(CommandType.PRE, bank=bank)
+
+
+class TestBasicSequencing:
+    def test_act_then_pre_elapsed(self):
+        scheduler = CommandScheduler(DDR4_2400)
+        scheduler.issue(_act(0))
+        scheduler.issue(_pre(0))
+        # PRE must respect tRAS after the ACT, then takes tRP.
+        assert scheduler.elapsed_ns == pytest.approx(
+            DDR4_2400.t_ras + DDR4_2400.t_rp
+        )
+
+    def test_read_requires_open_row(self):
+        scheduler = CommandScheduler(DDR4_2400)
+        with pytest.raises(TimingViolationError):
+            scheduler.issue(Command(CommandType.RD, bank=0))
+
+    def test_double_activate_same_bank_rejected(self):
+        scheduler = CommandScheduler(DDR4_2400)
+        scheduler.issue(_act(0, 1))
+        with pytest.raises(TimingViolationError):
+            scheduler.issue(_act(0, 2))
+
+    def test_unknown_bank_rejected(self):
+        scheduler = CommandScheduler(DDR4_2400, num_banks=2)
+        with pytest.raises(TimingViolationError):
+            scheduler.issue(_act(5))
+
+
+class TestTfawEnforcement:
+    def test_fifth_activation_delayed_by_tfaw(self):
+        # Use a huge tFAW so the delay is unambiguous.
+        timing = TimingParameters(t_faw=1000.0, t_rrd=0.0)
+        scheduler = CommandScheduler(timing)
+        issue_times = [scheduler.issue(_act(bank)).issue_time_ns for bank in range(5)]
+        assert issue_times[4] >= issue_times[0] + 1000.0
+
+    def test_no_tfaw_constraint_when_zero(self):
+        timing = TimingParameters(t_faw=0.0, t_rrd=0.0)
+        scheduler = CommandScheduler(timing)
+        issue_times = [scheduler.issue(_act(bank)).issue_time_ns for bank in range(8)]
+        # Only the command-bus serialisation (one clock per command) remains.
+        assert issue_times[-1] - issue_times[0] <= 8 * timing.clock_ns
+
+    def test_row_sweep_counts_toward_tfaw(self):
+        timing = TimingParameters(t_faw=500.0, t_rrd=0.0)
+        scheduler = CommandScheduler(timing)
+        scheduler.issue(Command(CommandType.ROW_SWEEP, bank=0, rows=4))
+        follow_up = scheduler.issue(_act(1))
+        assert follow_up.issue_time_ns >= 500.0
+
+
+class TestCompoundCommands:
+    def test_rowclone_duration(self):
+        scheduler = CommandScheduler(DDR4_2400)
+        scheduler.issue(Command(CommandType.ROWCLONE, bank=0))
+        assert scheduler.elapsed_ns == pytest.approx(
+            2 * DDR4_2400.t_rcd + DDR4_2400.t_rp
+        )
+
+    def test_lisa_duration(self):
+        scheduler = CommandScheduler(DDR4_2400)
+        scheduler.issue(Command(CommandType.LISA_RBM, bank=0))
+        assert scheduler.elapsed_ns == pytest.approx(DDR4_2400.t_rcd + DDR4_2400.t_rp)
+
+    def test_refresh_duration(self):
+        scheduler = CommandScheduler(DDR4_2400)
+        scheduler.issue(Command(CommandType.REF, bank=0))
+        assert scheduler.elapsed_ns == pytest.approx(DDR4_2400.t_rfc)
+
+    def test_issue_all_returns_schedule(self):
+        scheduler = CommandScheduler(DDR4_2400)
+        scheduled = scheduler.issue_all([_act(0), _pre(0), _act(0, 5)])
+        assert len(scheduled) == 3
+        assert len(scheduler.schedule) == 3
+        assert scheduled[2].issue_time_ns > scheduled[0].issue_time_ns
+
+    def test_parallel_banks_overlap(self):
+        scheduler = CommandScheduler(DDR4_2400)
+        first = scheduler.issue(_act(0))
+        second = scheduler.issue(_act(1))
+        # The second bank's ACT only waits for tRRD, not for the first
+        # bank's full activation.
+        assert second.issue_time_ns - first.issue_time_ns == pytest.approx(
+            DDR4_2400.t_rrd
+        )

@@ -1,0 +1,151 @@
+"""Tests for the quantized LeNet-5 case study (Section 9 / Table 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.inference import QnnInferenceModel, table7_configurations
+from repro.nn.layers import conv2d, conv2d_macs, dense, dense_macs, max_pool2d, relu
+from repro.nn.lenet import LeNet5
+from repro.nn.mnist import DIGIT_TEMPLATES, synthetic_mnist
+from repro.nn.quantization import dequantize, quantize_tensor
+
+
+class TestQuantization:
+    def test_one_bit_is_sign(self):
+        tensor = np.array([-2.0, -0.1, 0.0, 0.5, 3.0])
+        quantized = quantize_tensor(tensor, 1)
+        assert quantized.values.tolist() == [-1, -1, 1, 1, 1]
+        assert quantized.bits == 1
+
+    def test_four_bit_range(self):
+        tensor = np.linspace(-1, 1, 17)
+        quantized = quantize_tensor(tensor, 4)
+        assert quantized.values.max() <= 7
+        assert quantized.values.min() >= -8
+
+    def test_dequantize_error_bounded(self):
+        rng = np.random.default_rng(0)
+        tensor = rng.normal(0, 1, 100)
+        quantized = quantize_tensor(tensor, 8)
+        error = np.abs(dequantize(quantized) - tensor)
+        assert error.max() <= quantized.scale
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quantize_tensor(np.zeros(4), 0)
+
+
+class TestLayers:
+    def test_conv2d_known_result(self):
+        inputs = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        kernel = np.ones((1, 1, 2, 2))
+        output = conv2d(inputs, kernel)
+        assert output.shape == (1, 1, 3, 3)
+        assert output[0, 0, 0, 0] == pytest.approx(0 + 1 + 4 + 5)
+
+    def test_conv2d_channel_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            conv2d(np.zeros((1, 2, 4, 4)), np.zeros((1, 3, 2, 2)))
+
+    def test_max_pool(self):
+        inputs = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pooled = max_pool2d(inputs, 2)
+        assert pooled.shape == (1, 1, 2, 2)
+        assert pooled[0, 0, 1, 1] == 15
+
+    def test_dense_and_relu(self):
+        output = dense(np.array([[1.0, -2.0]]), np.array([[1.0], [1.0]]))
+        assert output[0, 0] == pytest.approx(-1.0)
+        assert relu(output)[0, 0] == 0.0
+
+    def test_mac_counts(self):
+        assert conv2d_macs(1, 6, 5, 24, 24) == 6 * 24 * 24 * 25
+        assert dense_macs(256, 120) == 30720
+
+
+class TestSyntheticMnist:
+    def test_shapes_and_ranges(self):
+        images, labels = synthetic_mnist(32, seed=1)
+        assert images.shape == (32, 1, 28, 28)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+        assert set(np.unique(labels)).issubset(set(range(10)))
+
+    def test_deterministic_given_seed(self):
+        first = synthetic_mnist(8, seed=5)
+        second = synthetic_mnist(8, seed=5)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+
+    def test_templates_cover_all_digits(self):
+        assert set(DIGIT_TEMPLATES) == set(range(10))
+        for template in DIGIT_TEMPLATES.values():
+            assert template.shape == (7, 7)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_mnist(0)
+
+
+class TestLeNet5:
+    def test_mac_count_matches_topology(self):
+        network = LeNet5(weight_bits=4)
+        assert network.macs_per_image == 86_400 + 153_600 + 30_720 + 10_080 + 840
+
+    def test_forward_shapes(self):
+        network = LeNet5(weight_bits=4)
+        images, _ = synthetic_mnist(4, seed=0)
+        logits = network.logits(images)
+        assert logits.shape == (4, 10)
+        assert network.predict(images).shape == (4,)
+
+    def test_calibrated_accuracy_above_chance(self):
+        network = LeNet5(weight_bits=4)
+        train_images, train_labels = synthetic_mnist(150, seed=2)
+        test_images, test_labels = synthetic_mnist(80, seed=3)
+        network.calibrate(train_images, train_labels)
+        assert network.accuracy(test_images, test_labels) > 0.3  # chance is 0.1
+
+    def test_one_bit_network_runs(self):
+        network = LeNet5(weight_bits=1)
+        images, _ = synthetic_mnist(2, seed=0)
+        assert network.logits(images).shape == (2, 10)
+
+    def test_invalid_input_shape_rejected(self):
+        network = LeNet5()
+        with pytest.raises(ConfigurationError):
+            network.features(np.zeros((1, 3, 28, 28)))
+
+
+class TestTable7:
+    def test_configurations(self):
+        models = table7_configurations()
+        assert [m.bits for m in models] == [1, 4]
+
+    def test_invalid_bit_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QnnInferenceModel(2)
+
+    def test_pluto_fastest_and_most_efficient(self):
+        for model in table7_configurations():
+            rows = {row.system: row for row in model.table7_rows()}
+            pluto = rows["pLUTo-BSA"]
+            for system in ("CPU", "GPU", "FPGA"):
+                assert pluto.latency_us < rows[system].latency_us
+                assert pluto.energy_mj < rows[system].energy_mj
+
+    def test_one_bit_cheaper_than_four_bit_on_pluto(self):
+        one_bit, four_bit = table7_configurations()
+        one = {r.system: r for r in one_bit.table7_rows()}["pLUTo-BSA"]
+        four = {r.system: r for r in four_bit.table7_rows()}["pLUTo-BSA"]
+        assert one.latency_us < four.latency_us
+        assert one.energy_mj < four.energy_mj
+
+    def test_latencies_in_table7_ballpark(self):
+        """Absolute values should be within an order of magnitude of Table 7."""
+        one_bit = {r.system: r for r in QnnInferenceModel(1).table7_rows()}
+        assert 2 < one_bit["pLUTo-BSA"].latency_us < 230
+        assert 25 < one_bit["CPU"].latency_us < 2490
+        assert 14 < one_bit["FPGA"].latency_us < 1410

@@ -1,0 +1,82 @@
+"""Tests for Q-format fixed point helpers and unit utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.fixedpoint import Q1_7, Q1_15, QFormat, from_fixed, to_fixed
+from repro.utils.units import format_energy, format_time, geometric_mean
+
+
+class TestQFormat:
+    def test_q1_7_properties(self):
+        assert Q1_7.total_bits == 8
+        assert Q1_7.scale == 128
+        assert Q1_7.min_value == -1.0
+        assert Q1_7.max_value == pytest.approx(1.0 - 1 / 128)
+
+    def test_q1_15_properties(self):
+        assert Q1_15.total_bits == 16
+        assert Q1_15.scale == 32768
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(integer_bits=0, fractional_bits=7)
+        with pytest.raises(ConfigurationError):
+            QFormat(integer_bits=1, fractional_bits=-1)
+
+    def test_roundtrip_exact_values(self):
+        values = np.array([0.0, 0.5, -0.5, 0.25, -1.0])
+        raw = to_fixed(values, Q1_7)
+        assert np.allclose(from_fixed(raw, Q1_7), values)
+
+    def test_clipping_at_range_edges(self):
+        raw = to_fixed(np.array([5.0, -5.0]), Q1_7)
+        decoded = from_fixed(raw, Q1_7)
+        assert decoded[0] == pytest.approx(Q1_7.max_value)
+        assert decoded[1] == pytest.approx(Q1_7.min_value)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=-0.999, max_value=0.99, allow_nan=False))
+    def test_quantization_error_bounded(self, value):
+        raw = to_fixed(np.array([value]), Q1_15)
+        decoded = from_fixed(raw, Q1_15)[0]
+        assert abs(decoded - value) <= 1.0 / Q1_15.scale
+
+
+class TestUnits:
+    def test_format_time_scales(self):
+        assert format_time(1.5) == "1.50 ns"
+        assert format_time(1500.0) == "1.50 us"
+        assert format_time(2.5e6) == "2.50 ms"
+        assert format_time(3.2e9).endswith(" s")
+
+    def test_format_energy_scales(self):
+        assert format_energy(0.5) == "0.50 nJ"
+        assert format_energy(2.5e3) == "2.50 uJ"
+        assert format_energy(7.5e6) == "7.50 mJ"
+
+    def test_negative_values_render_with_sign(self):
+        assert format_time(-10).startswith("-")
+        assert format_energy(-10).startswith("-")
+
+    def test_geometric_mean_simple(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([7]) == pytest.approx(7.0)
+
+    def test_geometric_mean_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=20))
+    def test_geometric_mean_between_min_and_max(self, values):
+        result = geometric_mean(values)
+        assert min(values) <= result * (1 + 1e-9)
+        assert result <= max(values) * (1 + 1e-9)

@@ -1,0 +1,209 @@
+"""Correctness tests for the evaluated workloads (Table 4).
+
+Every workload's LUT decomposition must match its host-side reference
+bit-exactly; the crypto workloads are additionally checked against
+independently coded reference vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.utils.fixedpoint import Q1_7, Q1_15
+from repro.workloads.bitcount import BitCount
+from repro.workloads.bitwise import RowBitwise
+from repro.workloads.crc import CrcWorkload
+from repro.workloads.image import ColorGrading, ImageBinarization, synthetic_image
+from repro.workloads.registry import all_workloads, figure7_workloads, figure9_workloads, workload_by_name
+from repro.workloads.salsa20 import Salsa20Workload, salsa20_block
+from repro.workloads.vector_ops import VectorAddition, VectorMultiplication
+from repro.workloads.vmpc import VmpcWorkload, vmpc_ksa, vmpc_keystream
+
+
+class TestVectorOps:
+    def test_addition_lut_decomposition(self):
+        assert VectorAddition(4).verify(2048)
+
+    def test_addition_8bit(self):
+        assert VectorAddition(8).verify(512)
+
+    def test_multiplication_q1_7(self):
+        assert VectorMultiplication(Q1_7).verify(512)
+
+    def test_multiplication_q1_15(self):
+        assert VectorMultiplication(Q1_15).verify(128)
+
+    def test_multiplication_recipe_scales_with_width(self):
+        narrow = VectorMultiplication(Q1_7).recipe
+        wide = VectorMultiplication(Q1_15).recipe
+        assert len(wide.sweeps_per_row) > len(narrow.sweeps_per_row)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_addition_property(self, seed):
+        workload = VectorAddition(4)
+        data = workload.generate_input(64, seed=seed)
+        assert np.array_equal(workload.lut_reference(data), data[0] + data[1])
+
+
+class TestBitwiseAndBitcount:
+    @pytest.mark.parametrize("operation", ["and", "or", "xor"])
+    def test_bitwise_decomposition(self, operation):
+        assert RowBitwise(operation).verify(1024)
+
+    def test_unsupported_operation_rejected(self):
+        with pytest.raises(WorkloadError):
+            RowBitwise("nand2")
+
+    @pytest.mark.parametrize("bits", [4, 8])
+    def test_bitcount_decomposition(self, bits):
+        assert BitCount(bits).verify(2048)
+
+    def test_bitcount_other_widths_rejected(self):
+        with pytest.raises(WorkloadError):
+            BitCount(16)
+
+
+class TestCrc:
+    @pytest.mark.parametrize("width", [8, 16, 32])
+    def test_lut_decomposition(self, width):
+        assert CrcWorkload(width).verify(512)
+
+    def test_crc8_against_bit_serial_reference(self):
+        workload = CrcWorkload(8, packet_bytes=16)
+        data = workload.generate_input(32, seed=3)
+
+        def bit_serial_crc8(packet):
+            crc = 0
+            for byte in packet:
+                crc ^= int(byte)
+                for _ in range(8):
+                    crc = ((crc << 1) ^ 0x07) & 0xFF if crc & 0x80 else (crc << 1) & 0xFF
+            return crc
+
+        packets = data.reshape(-1, 16)
+        expected = np.array([bit_serial_crc8(p) for p in packets], dtype=np.uint64)
+        assert np.array_equal(workload.reference(data), expected)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            CrcWorkload(12)
+        with pytest.raises(WorkloadError):
+            CrcWorkload(8, packet_bytes=0)
+
+    def test_serial_fraction_declared(self):
+        assert CrcWorkload(32).recipe.serial_fraction > 0
+
+
+class TestSalsa20:
+    def test_lut_decomposition(self):
+        assert Salsa20Workload().verify(512)
+
+    def test_block_function_specification_vector(self):
+        # Salsa20 core of the all-zero state is all zeros (x + 0 rounds fixed point).
+        assert salsa20_block([0] * 16) == [0] * 16
+
+    def test_block_function_is_deterministic_and_nontrivial(self):
+        state = list(range(16))
+        first = salsa20_block(state)
+        second = salsa20_block(state)
+        assert first == second
+        assert first != state
+
+    def test_encryption_roundtrip(self):
+        workload = Salsa20Workload()
+        data = workload.generate_input(512, seed=9)
+        ciphertext = workload.reference(data)
+        assert not np.array_equal(ciphertext, data)
+        # XOR stream ciphers are their own inverse.
+        assert np.array_equal(workload.reference(ciphertext), data)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            Salsa20Workload(packet_bytes=100)
+        with pytest.raises(WorkloadError):
+            salsa20_block([0] * 15)
+        with pytest.raises(WorkloadError):
+            salsa20_block([0] * 16, rounds=7)
+
+
+class TestVmpc:
+    def test_lut_decomposition(self):
+        assert VmpcWorkload().verify(512)
+
+    def test_ksa_produces_a_permutation(self):
+        permutation, s = vmpc_ksa(bytes(range(16)), bytes(range(16, 32)))
+        assert sorted(permutation) == list(range(256))
+        assert 0 <= s <= 255
+
+    def test_keystream_deterministic(self):
+        permutation, s = vmpc_ksa(b"key", b"iv12")
+        first, _, _ = vmpc_keystream(list(permutation), s, 64)
+        second, _, _ = vmpc_keystream(list(permutation), s, 64)
+        assert np.array_equal(first, second)
+
+    def test_encryption_roundtrip(self):
+        workload = VmpcWorkload()
+        data = workload.generate_input(512, seed=4)
+        ciphertext = workload.reference(data)
+        assert np.array_equal(workload.reference(ciphertext), data)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(WorkloadError):
+            vmpc_ksa(b"", b"iv")
+
+
+class TestImageWorkloads:
+    def test_binarization_decomposition(self):
+        assert ImageBinarization().verify(4096)
+
+    def test_color_grading_decomposition(self):
+        assert ColorGrading().verify(4096)
+
+    def test_binarization_is_binary(self):
+        workload = ImageBinarization()
+        data = workload.generate_input(1024)
+        result = workload.reference(data)
+        assert set(np.unique(result)).issubset({0, 255})
+
+    def test_synthetic_image_covers_dynamic_range(self):
+        image = synthetic_image(100_000, seed=2)
+        assert image.min() >= 0 and image.max() <= 255
+        assert len(np.unique(image)) > 100  # broad histogram
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(WorkloadError):
+            ImageBinarization(threshold_fraction=1.5)
+
+    def test_default_size_matches_paper(self):
+        assert ImageBinarization().default_elements == 936_000 * 3
+
+
+class TestRegistry:
+    def test_all_workloads_have_unique_names(self):
+        names = [w.name for w in all_workloads()]
+        assert len(names) == len(set(names))
+
+    def test_figure7_set(self):
+        names = [w.name for w in figure7_workloads()]
+        assert names == ["CRC-8", "CRC-16", "CRC-32", "Salsa20", "VMPC", "ImgBin", "ColorGrade"]
+
+    def test_figure9_set_contains_fpga_workloads(self):
+        names = {w.name for w in figure9_workloads()}
+        assert {"ADD4", "ADD8", "MUL8", "MUL16", "BC4", "BC8", "ImgBin"} <= names
+
+    def test_lookup_by_name(self):
+        assert workload_by_name("imgbin").name == "ImgBin"
+        with pytest.raises(WorkloadError):
+            workload_by_name("nonexistent")
+
+    def test_every_workload_recipe_is_well_formed(self):
+        for workload in all_workloads():
+            recipe = workload.recipe
+            assert recipe.element_bits > 0
+            assert recipe.cpu_ops_per_element > 0
+            assert 0 <= recipe.serial_fraction < 1

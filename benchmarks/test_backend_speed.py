@@ -1,0 +1,81 @@
+"""Benchmark: vectorized vs functional execution of a compiled program.
+
+Times a representative Figure 7 workload (the 8-bit image pipeline:
+colour-grade LUT map followed by a binarization LUT map, the IMG workloads'
+command mix) through the full compile/controller stack on both execution
+backends, asserts the vectorized fast path is at least 5x faster
+wall-clock, and emits the numbers as JSON for the bench trajectory
+(stdout + ``benchmarks/backend_speed.json``, overridable via the
+``BACKEND_SPEED_JSON`` environment variable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.luts import binarize_lut, color_grade_lut
+from repro.api.session import PlutoSession
+from repro.core.engine import PlutoConfig, PlutoEngine
+
+#: Input size: eight full DDR4 rows of 8-bit pixels.
+ELEMENTS = 8 * 8192
+MIN_SPEEDUP = 5.0
+
+
+def _build_session() -> PlutoSession:
+    session = PlutoSession()
+    pixels = session.pluto_malloc(ELEMENTS, 8, "pixels")
+    graded = session.pluto_malloc(ELEMENTS, 8, "graded")
+    binary = session.pluto_malloc(ELEMENTS, 8, "binary")
+    session.api_pluto_map(color_grade_lut(), pixels, graded)
+    session.api_pluto_map(binarize_lut(127), graded, binary)
+    return session
+
+
+def _time_backend(session: PlutoSession, backend: str, inputs, engine) -> float:
+    session.backend = backend
+    session.run(inputs, engine=engine)  # warm-up: caches, imports
+    best = float("inf")
+    repeats = 3 if backend == "vectorized" else 1
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = session.run(inputs, engine=engine)
+        best = min(best, time.perf_counter() - start)
+    assert result.lut_queries == 2
+    return best
+
+
+def test_vectorized_backend_is_faster():
+    session = _build_session()
+    inputs = {"pixels": np.arange(ELEMENTS, dtype=np.uint64) % 256}
+    engine = PlutoEngine(PlutoConfig())
+
+    functional_s = _time_backend(session, "functional", inputs, engine)
+    vectorized_s = _time_backend(session, "vectorized", inputs, engine)
+    speedup = functional_s / max(vectorized_s, 1e-12)
+
+    payload = {
+        "workload": "image-pipeline (colorgrade8 + binarize8 maps)",
+        "elements": ELEMENTS,
+        "functional_s": functional_s,
+        "vectorized_s": vectorized_s,
+        "speedup": speedup,
+    }
+    print("BACKEND_SPEED_JSON " + json.dumps(payload))
+    output = Path(
+        os.environ.get(
+            "BACKEND_SPEED_JSON",
+            Path(__file__).resolve().parent / "backend_speed.json",
+        )
+    )
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized backend is only {speedup:.1f}x faster than functional "
+        f"(required {MIN_SPEEDUP}x)"
+    )

@@ -2,20 +2,22 @@
 
 Builds a pLUTo API program with the Library (``pluto_malloc`` +
 ``api_pluto_mul`` / ``api_pluto_add``), compiles it to pLUTo ISA, executes
-it on the functional pLUTo-GMC engine through the controller, verifies the
-result bit-exactly, and prints the ISA listing plus the modelled latency
-and energy.
+it through the controller on both execution backends — the vectorized
+NumPy fast path and the bit-exact subarray row-sweep path — verifies that
+the outputs match the host reference and that the two backends produce
+identical latency/energy traces, and prints the ISA listing plus the
+modelled costs and the wall-clock speedup of the fast path.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.api import PlutoSession
-from repro.compiler import PlutoCompiler
-from repro.controller import PlutoController
 from repro.core import PlutoConfig, PlutoDesign, PlutoEngine
 from repro.utils.units import format_energy, format_time
 
@@ -37,22 +39,43 @@ def main() -> None:
     session.api_pluto_mul(va, vb, tmp, bit_width=2)
     session.api_pluto_add(vc, tmp, out, bit_width=4)
 
-    # 2) Compile to pLUTo ISA (Figure 5 c/d).
-    compiled = PlutoCompiler().compile(session.calls)
+    # 2) Compile to pLUTo ISA (Figure 5 c/d); session.run reuses this
+    #    exact program through the structure-keyed compile cache.
+    compiled = session.compile()
     print("Compiled pLUTo ISA program:")
     print(compiled.program.listing())
     print()
 
-    # 3) Execute on the functional pLUTo-GMC engine (Figure 5 e).
+    # 3) Execute on the pLUTo-GMC engine (Figure 5 e) on both backends.
     engine = PlutoEngine(PlutoConfig(design=PlutoDesign.GMC))
-    result = PlutoController(engine).execute(compiled, {"A": a, "B": b, "C": c})
-
+    inputs = {"A": a, "B": b, "C": c}
     expected = a * b + c
-    assert np.array_equal(result.outputs["out"], expected), "mismatch vs. host reference"
-    print(f"Result verified for {n} elements: out = A*B + C")
-    print(f"pLUTo LUT queries executed : {result.lut_queries}")
-    print(f"Modelled latency           : {format_time(result.latency_ns)}")
-    print(f"Modelled DRAM energy       : {format_energy(result.energy_nj)}")
+
+    timings = {}
+    results = {}
+    for backend in ("vectorized", "functional"):
+        session.backend = backend
+        session.run(inputs, engine=engine)  # warm-up: imports + program cache
+        start = time.perf_counter()
+        result = session.run(inputs, engine=engine)
+        timings[backend] = time.perf_counter() - start
+        results[backend] = result
+        assert np.array_equal(result.outputs["out"], expected), "mismatch vs. host reference"
+
+    fast, slow = results["vectorized"], results["functional"]
+    assert fast.latency_ns == slow.latency_ns, "traces diverged across backends"
+    assert fast.energy_nj == slow.energy_nj, "traces diverged across backends"
+
+    print(f"Result verified for {n} elements on both backends: out = A*B + C")
+    print(f"pLUTo LUT queries executed : {fast.lut_queries}")
+    print(f"Modelled latency           : {format_time(fast.latency_ns)}")
+    print(f"Modelled DRAM energy       : {format_energy(fast.energy_nj)}")
+    print(
+        f"Wall-clock                 : functional {timings['functional'] * 1e3:.2f} ms, "
+        f"vectorized {timings['vectorized'] * 1e3:.2f} ms "
+        f"({timings['functional'] / max(timings['vectorized'], 1e-9):.0f}x faster, "
+        "identical traces)"
+    )
 
 
 if __name__ == "__main__":

@@ -23,6 +23,10 @@ The public API is organised by subsystem:
     engine, and the analytical throughput/energy/area models.
 ``repro.isa`` / ``repro.api`` / ``repro.compiler`` / ``repro.controller``
     The system-integration stack of Section 6.
+``repro.backend``
+    Pluggable execution backends for compiled programs: the bit-exact
+    subarray row-sweep path and the vectorized NumPy fast path, both
+    producing identical command traces.
 ``repro.baselines``
     Analytical CPU, GPU, FPGA, PnM, SIMDRAM, Ambit, DRISA, and LAcc
     models used for the comparative evaluation.

@@ -18,12 +18,24 @@ from repro.api.luts import (
     relu_lut,
     sign_lut,
 )
-from repro.api.session import PlutoSession
+from repro.api.session import (
+    BatchResult,
+    PlutoSession,
+    clear_program_cache,
+    execute_batch,
+    program_cache_size,
+    program_structure_key,
+)
 
 __all__ = [
     "ApiCall",
     "PlutoVector",
     "PlutoSession",
+    "BatchResult",
+    "execute_batch",
+    "program_structure_key",
+    "clear_program_cache",
+    "program_cache_size",
     "add_lut",
     "binarize_lut",
     "bitcount_lut",

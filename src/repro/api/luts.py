@@ -4,11 +4,20 @@ Every builder returns a :class:`repro.core.lut.LookupTable`.  Binary
 operations (addition, multiplication, bitwise logic) are tabulated over the
 concatenation of their operands, matching the operand-merging convention of
 the pLUTo compiler (``index = (left << right_bits) | right``).
+
+Builders are memoized on their arguments (builder + operand bits +
+parameters): tabulating a 256+-entry table walks nested Python loops, and
+the library routines rebuild the same tables on every call otherwise.
+:class:`LookupTable` is immutable, so sharing one instance is safe — and
+it makes the compiled-program cache and the vectorized backend's gather
+cache hit naturally, since equal LUT requests now return the *same*
+object.
 """
 
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Callable, Sequence
 
 from repro.core.lut import LookupTable, concat_binary_lut, lut_from_function, sequence_lut
@@ -34,11 +43,13 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=None)
 def identity_lut(bits: int) -> LookupTable:
     """LUT mapping every value to itself (used in tests and data movement)."""
     return lut_from_function(lambda x: x, bits, bits, name=f"identity{bits}")
 
 
+@lru_cache(maxsize=None)
 def add_lut(operand_bits: int) -> LookupTable:
     """Addition LUT for two ``operand_bits``-wide operands.
 
@@ -57,6 +68,7 @@ def add_lut(operand_bits: int) -> LookupTable:
     )
 
 
+@lru_cache(maxsize=None)
 def multiply_lut(operand_bits: int) -> LookupTable:
     """Multiplication LUT for two ``operand_bits``-wide operands."""
     return concat_binary_lut(
@@ -68,6 +80,7 @@ def multiply_lut(operand_bits: int) -> LookupTable:
     )
 
 
+@lru_cache(maxsize=None)
 def bitwise_lut(operation: str, operand_bits: int = 1) -> LookupTable:
     """LUT for a bitwise operation over concatenated operands.
 
@@ -94,6 +107,7 @@ def bitwise_lut(operation: str, operand_bits: int = 1) -> LookupTable:
     )
 
 
+@lru_cache(maxsize=None)
 def bitcount_lut(bits: int) -> LookupTable:
     """Population-count LUT (the BC-4 / BC-8 workloads).
 
@@ -105,6 +119,7 @@ def bitcount_lut(bits: int) -> LookupTable:
     )
 
 
+@lru_cache(maxsize=None)
 def exponentiation_lut(bits: int, base: float = math.e, scale: float | None = None) -> LookupTable:
     """Exponentiation LUT: ``f(x) = round(scale * base**(x / 2**bits))``.
 
@@ -122,6 +137,7 @@ def exponentiation_lut(bits: int, base: float = math.e, scale: float | None = No
     return lut_from_function(_exp, bits, bits, name=f"exp{bits}")
 
 
+@lru_cache(maxsize=None)
 def binarize_lut(threshold: int, bits: int = 8) -> LookupTable:
     """Image binarization LUT: 1 if the pixel exceeds ``threshold`` else 0.
 
@@ -144,7 +160,9 @@ def color_grade_lut(
     """Colour-grading LUT: an 8-bit-to-8-bit tone curve (Final Cut style).
 
     The default curve is a smooth S-curve (gamma lift in the shadows, roll
-    off in the highlights), the classic "cinematic" grade.
+    off in the highlights), the classic "cinematic" grade.  Caching is
+    keyed on the tabulated values (not the curve callable's identity), so
+    equal curves share one LookupTable even when passed as fresh lambdas.
     """
     full_scale = mask_of(bits)
 
@@ -153,13 +171,18 @@ def color_grade_lut(
         return x * x * (3.0 - 2.0 * x)
 
     curve = curve or _default_curve
+    values = tuple(
+        int(round(min(1.0, max(0.0, curve(x / full_scale))) * full_scale))
+        for x in range(full_scale + 1)
+    )
+    return _color_grade_lut_cached(values, bits)
 
-    def _grade(x: int) -> int:
-        normalised = x / full_scale
-        graded = min(1.0, max(0.0, curve(normalised)))
-        return int(round(graded * full_scale))
 
-    return lut_from_function(_grade, bits, bits, name=f"colorgrade{bits}")
+@lru_cache(maxsize=128)
+def _color_grade_lut_cached(values: tuple[int, ...], bits: int) -> LookupTable:
+    return LookupTable(
+        values=values, index_bits=bits, element_bits=bits, name=f"colorgrade{bits}"
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -182,6 +205,7 @@ def _crc_table(width: int, polynomial: int, reflected: bool) -> list[int]:
     return table
 
 
+@lru_cache(maxsize=None)
 def crc8_lut(polynomial: int = 0x07) -> LookupTable:
     """Byte-indexed CRC-8 table (SMBus polynomial by default)."""
     return LookupTable(
@@ -192,6 +216,7 @@ def crc8_lut(polynomial: int = 0x07) -> LookupTable:
     )
 
 
+@lru_cache(maxsize=None)
 def crc16_lut(polynomial: int = 0x1021) -> LookupTable:
     """Byte-indexed CRC-16 table (CCITT polynomial by default)."""
     return LookupTable(
@@ -202,6 +227,7 @@ def crc16_lut(polynomial: int = 0x1021) -> LookupTable:
     )
 
 
+@lru_cache(maxsize=None)
 def crc32_lut(polynomial: int = 0xEDB88320) -> LookupTable:
     """Byte-indexed CRC-32 table (reflected IEEE 802.3 polynomial)."""
     return LookupTable(
@@ -214,6 +240,11 @@ def crc32_lut(polynomial: int = 0xEDB88320) -> LookupTable:
 
 def permutation_lut(permutation: Sequence[int], bits: int = 8, name: str = "sbox") -> LookupTable:
     """Substitution-table LUT from an explicit permutation (VMPC S-box style)."""
+    return _permutation_lut_cached(tuple(int(v) for v in permutation), bits, name)
+
+
+@lru_cache(maxsize=128)
+def _permutation_lut_cached(permutation: tuple[int, ...], bits: int, name: str) -> LookupTable:
     if len(permutation) != (1 << bits):
         raise LUTError(
             f"permutation length {len(permutation)} does not match {bits}-bit domain"
@@ -226,6 +257,7 @@ def permutation_lut(permutation: Sequence[int], bits: int = 8, name: str = "sbox
 # --------------------------------------------------------------------- #
 # Quantized-neural-network LUTs (Section 9)
 # --------------------------------------------------------------------- #
+@lru_cache(maxsize=None)
 def sign_lut(bits: int = 8) -> LookupTable:
     """Binarization/sign activation for 1-bit networks: 1 if x >= midpoint."""
     midpoint = 1 << (bits - 1)
@@ -234,6 +266,7 @@ def sign_lut(bits: int = 8) -> LookupTable:
     )
 
 
+@lru_cache(maxsize=None)
 def relu_lut(bits: int = 8) -> LookupTable:
     """ReLU on two's-complement ``bits``-wide values."""
     sign_bit = 1 << (bits - 1)
@@ -242,6 +275,7 @@ def relu_lut(bits: int = 8) -> LookupTable:
     )
 
 
+@lru_cache(maxsize=None)
 def quantize_lut(input_bits: int, output_bits: int) -> LookupTable:
     """Requantization LUT: drop the least-significant bits of an accumulator."""
     if output_bits > input_bits:

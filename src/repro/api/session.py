@@ -1,30 +1,144 @@
 """The pLUTo Library session: ``pluto_malloc`` and the ``api_pluto_*`` routines.
 
 A :class:`PlutoSession` records the program a user expresses with library
-calls (Figure 5 b).  The session only builds the symbolic call list; the
-pLUTo Compiler turns it into ISA instructions and the pLUTo Controller
-executes those on the functional engine.
+calls (Figure 5 b).  The session builds the symbolic call list; the pLUTo
+Compiler turns it into ISA instructions and the pLUTo Controller executes
+those on the functional engine.
+
+The session is also the execution front door: :meth:`PlutoSession.run`
+compiles (through a process-wide compiled-program cache keyed on program
+*structure*, so equal-shaped sessions compile once) and executes on the
+session's selected backend — the vectorized NumPy fast path by default,
+or the bit-exact subarray row-sweep path with ``backend="functional"``.
+:meth:`PlutoSession.run_batch` submits many input sets against one
+compiled program, and :func:`execute_batch` submits many whole programs,
+deduplicating compilation across them.  Every execution exposes the same
+:class:`~repro.controller.executor.ExecutionResult` with its full command
+trace, whichever backend produced it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.api.handles import ApiCall, PlutoVector
 from repro.api.luts import add_lut, bitwise_lut, multiply_lut
 from repro.core.lut import LookupTable
 from repro.errors import ConfigurationError
 
-__all__ = ["PlutoSession"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.backend.base import ExecutionBackend
+    from repro.compiler.lowering import CompiledProgram
+    from repro.controller.executor import ExecutionResult
+    from repro.core.engine import PlutoEngine
+
+__all__ = [
+    "PlutoSession",
+    "BatchResult",
+    "execute_batch",
+    "program_structure_key",
+    "clear_program_cache",
+    "program_cache_size",
+]
+
+
+#: Process-wide compiled-program cache: structure key -> CompiledProgram.
+_PROGRAM_CACHE: dict[tuple, "CompiledProgram"] = {}
+
+
+def program_structure_key(calls: Sequence[ApiCall]) -> tuple:
+    """Hashable program-structure key (see :mod:`repro.compiler.lowering`)."""
+    from repro.compiler.lowering import program_structure_key as _key
+
+    return _key(list(calls))
+
+
+def compile_cached(calls: Sequence[ApiCall]) -> "CompiledProgram":
+    """Compile a call list, reusing structurally identical past compiles.
+
+    Falls back to an uncached compile when the structure key is not
+    hashable (e.g. a call carries list-valued parameters).
+    """
+    from repro.compiler.lowering import PlutoCompiler
+
+    try:
+        key = program_structure_key(calls)
+        compiled = _PROGRAM_CACHE.get(key)
+    except TypeError:
+        return PlutoCompiler().compile(list(calls))
+    if compiled is None:
+        compiled = PlutoCompiler().compile(list(calls))
+        _PROGRAM_CACHE[key] = compiled
+    return compiled
+
+
+def clear_program_cache() -> None:
+    """Drop every cached compiled program.
+
+    Only the compiled-program cache is cleared; the memoized LUT builders
+    (:mod:`repro.api.luts`) and the gather-array cache
+    (:mod:`repro.core.lut`) keep their entries.
+    """
+    _PROGRAM_CACHE.clear()
+
+
+def program_cache_size() -> int:
+    """Number of distinct program structures currently cached."""
+    return len(_PROGRAM_CACHE)
+
+
+@dataclass
+class BatchResult:
+    """Results of a batched submission: one ExecutionResult per job."""
+
+    results: "list[ExecutionResult]"
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> "ExecutionResult":
+        return self.results[index]
+
+    @property
+    def outputs(self) -> list[dict[str, np.ndarray]]:
+        """Per-job output dictionaries, in submission order."""
+        return [result.outputs for result in self.results]
+
+    @property
+    def total_latency_ns(self) -> float:
+        """Modelled latency summed over every job in the batch."""
+        return sum(result.latency_ns for result in self.results)
+
+    @property
+    def total_energy_nj(self) -> float:
+        """Modelled energy summed over every job in the batch."""
+        return sum(result.energy_nj for result in self.results)
+
+    @property
+    def lut_queries(self) -> int:
+        """LUT queries executed across the whole batch."""
+        return sum(result.lut_queries for result in self.results)
 
 
 @dataclass
 class PlutoSession:
-    """Builds a pLUTo API program: allocations plus recorded library calls."""
+    """Builds a pLUTo API program: allocations plus recorded library calls.
+
+    ``backend`` selects how :meth:`run` executes the program:
+    ``"vectorized"`` (default, NumPy fast path) or ``"functional"``
+    (bit-exact subarray row sweeps).
+    """
 
     vectors: list[PlutoVector] = field(default_factory=list)
     calls: list[ApiCall] = field(default_factory=list)
     _counter: int = 0
+    backend: "str | ExecutionBackend" = "vectorized"
 
     # ------------------------------------------------------------------ #
     # Memory allocation (Section 6.2, "Memory Allocation")
@@ -147,6 +261,51 @@ class PlutoSession:
         return self._record(ApiCall(operation="move", inputs=(source,), output=out))
 
     # ------------------------------------------------------------------ #
+    # Compilation and execution (Section 6.3/6.4 through the backend layer)
+    # ------------------------------------------------------------------ #
+    def compile(self) -> "CompiledProgram":
+        """Compile the recorded calls (cached by program structure)."""
+        return compile_cached(self.calls)
+
+    def _controller(self, engine: "PlutoEngine | None"):
+        from repro.controller.executor import PlutoController
+
+        return PlutoController(engine, backend=self.backend)
+
+    def run(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        *,
+        engine: "PlutoEngine | None" = None,
+    ) -> "ExecutionResult":
+        """Compile (cached) and execute this program on the session backend.
+
+        ``engine`` selects the pLUTo configuration (design/memory); the
+        default is pLUTo-BSA on DDR4.  The returned
+        :class:`ExecutionResult` carries the outputs and the full command
+        trace, identically for every backend.
+        """
+        return self._controller(engine).execute(self.compile(), dict(inputs))
+
+    def run_batch(
+        self,
+        batch: Iterable[Mapping[str, np.ndarray]],
+        *,
+        engine: "PlutoEngine | None" = None,
+    ) -> BatchResult:
+        """Execute this program once per input set in ``batch``.
+
+        The program is compiled once and the controller (and therefore the
+        backend with its cached LUT arrays) is reused across the whole
+        batch.
+        """
+        compiled = self.compile()
+        controller = self._controller(engine)
+        return BatchResult(
+            results=[controller.execute(compiled, dict(inputs)) for inputs in batch]
+        )
+
+    # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -159,3 +318,34 @@ class PlutoSession:
                     f"vector {vector.name!r} is {vector.bit_width}-bit wide but the "
                     f"routine operates on {bit_width}-bit operands"
                 )
+
+
+def execute_batch(
+    jobs: Sequence[tuple[PlutoSession, Mapping[str, np.ndarray]]],
+    *,
+    engine: "PlutoEngine | None" = None,
+    backend: "str | ExecutionBackend | None" = None,
+) -> BatchResult:
+    """Execute many (session, inputs) jobs, deduplicating compilation.
+
+    Structurally identical programs in the batch compile once (the
+    process-wide program cache is keyed on program structure), and one
+    controller per backend is shared across all jobs so LUT gather arrays
+    are reused.  ``backend`` overrides every session's own selection when
+    given.
+    """
+    from repro.controller.executor import PlutoController
+
+    controllers: dict[object, PlutoController] = {}
+    results = []
+    for session, inputs in jobs:
+        selection = backend if backend is not None else session.backend
+        # Names share one controller per name; distinct backend instances
+        # each keep their own controller.
+        key = selection if isinstance(selection, str) else id(selection)
+        controller = controllers.get(key)
+        if controller is None:
+            controller = PlutoController(engine, backend=selection)
+            controllers[key] = controller
+        results.append(controller.execute(session.compile(), dict(inputs)))
+    return BatchResult(results=results)

@@ -1,0 +1,55 @@
+"""The bit-exact hardware-path backend.
+
+Every ``pluto_op`` walks the real :class:`~repro.core.subarray.PlutoSubarray`
+data path — match logic, pLUTo Row Sweep, FF-buffer/sense-amplifier capture
+— in row-sized chunks, including the destructive-read LUT reload that
+pLUTo-GSA requires between queries.  This is the path the seed controller
+executed inline; it is slow (one Python-level sweep per LUT row) but it is
+the reference the vectorized backend is validated against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ExecutionBackend
+from repro.core.lut import LookupTable
+from repro.core.subarray import PlutoSubarray
+from repro.errors import ExecutionError
+
+__all__ = ["FunctionalBackend"]
+
+
+class FunctionalBackend(ExecutionBackend):
+    """Executes LUT queries on functional pLUTo-enabled subarrays."""
+
+    name = "functional"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._subarrays: dict[int, PlutoSubarray] = {}
+
+    def _reset_luts(self) -> None:
+        self._subarrays.clear()
+
+    def load_lut(
+        self, register_index: int, lut: LookupTable, *, subarray_index: int = 0
+    ) -> None:
+        subarray = PlutoSubarray(self.geometry, self.design, index=subarray_index)
+        subarray.load_lut(lut)
+        self._subarrays[register_index] = subarray
+
+    def lut_query(self, register_index: int, indices: np.ndarray) -> np.ndarray:
+        subarray = self._subarrays.get(register_index)
+        if subarray is None:
+            raise ExecutionError(
+                f"subarray register s{register_index} has no LUT loaded"
+            )
+        capacity = subarray.elements_per_query()
+        result = np.zeros_like(indices)
+        for start in range(0, indices.size, capacity):
+            chunk = indices[start : start + capacity]
+            if subarray.properties.destructive_reads and not subarray.lut_valid:
+                subarray.reload_lut()
+            result[start : start + chunk.size] = subarray.query_indices(chunk)
+        return result

@@ -1,6 +1,11 @@
 """The pLUTo Compiler (Section 6.3)."""
 
 from repro.compiler.dependency_graph import DependencyGraph
-from repro.compiler.lowering import CompiledProgram, PlutoCompiler
+from repro.compiler.lowering import CompiledProgram, PlutoCompiler, program_structure_key
 
-__all__ = ["DependencyGraph", "CompiledProgram", "PlutoCompiler"]
+__all__ = [
+    "DependencyGraph",
+    "CompiledProgram",
+    "PlutoCompiler",
+    "program_structure_key",
+]

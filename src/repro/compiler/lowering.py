@@ -36,7 +36,33 @@ from repro.isa.instructions import (
 from repro.isa.program import PlutoProgram
 from repro.isa.registers import RegisterFile, RowRegister, SubarrayRegister
 
-__all__ = ["CompiledProgram", "PlutoCompiler"]
+__all__ = ["CompiledProgram", "PlutoCompiler", "program_structure_key"]
+
+
+def program_structure_key(calls: "list[ApiCall] | tuple[ApiCall, ...]") -> tuple:
+    """A hashable key capturing everything compilation depends on.
+
+    Two call lists with the same key lower to interchangeable
+    :class:`CompiledProgram` objects: the key covers each call's
+    operation, its operand names/sizes/widths, the exact LUT contents
+    (:class:`LookupTable` is frozen, hence hashable), and its parameters.
+    The session layer uses this to cache compiled programs across
+    batched submissions.
+    """
+
+    def _vector_key(vector: PlutoVector) -> tuple:
+        return (vector.name, vector.size, vector.bit_width)
+
+    return tuple(
+        (
+            call.operation,
+            tuple(_vector_key(vector) for vector in call.inputs),
+            _vector_key(call.output),
+            call.lut,
+            tuple(sorted(call.parameters.items())),
+        )
+        for call in calls
+    )
 
 
 @dataclass

@@ -7,9 +7,13 @@ latency/energy trace), and performs the *functional* effect of every
 instruction so program outputs are bit-exact.
 
 Functional state is kept per row register as a vector of element values.
-``pluto_op`` instructions are executed on a real :class:`PlutoSubarray`
-(match logic + row sweep + FF buffer) in row-sized chunks, so the data path
-exercised in tests is the same one the hardware description specifies.
+The functional effects themselves are delegated to an
+:class:`~repro.backend.base.ExecutionBackend`: the default ``"functional"``
+backend executes ``pluto_op`` instructions on a real
+:class:`~repro.core.subarray.PlutoSubarray` (match logic + row sweep + FF
+buffer) in row-sized chunks, while the ``"vectorized"`` backend executes
+them as NumPy gathers.  Cost accounting never touches the backend, so the
+command trace is identical whichever backend performs the arithmetic.
 """
 
 from __future__ import annotations
@@ -18,17 +22,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend.base import ExecutionBackend, resolve_backend
 from repro.compiler.lowering import CompiledProgram
 from repro.controller.allocation_table import AllocationTable
 from repro.controller.rom import CommandRom
 from repro.core.analytical import PlutoCostModel
 from repro.core.designs import PlutoDesign
 from repro.core.engine import PlutoConfig, PlutoEngine
-from repro.core.subarray import PlutoSubarray
 from repro.dram.commands import CommandTrace, CommandType
 from repro.errors import ExecutionError
 from repro.isa.instructions import (
-    BitwiseKind,
     PlutoBitShift,
     PlutoBitwise,
     PlutoByteShift,
@@ -36,9 +39,7 @@ from repro.isa.instructions import (
     PlutoOp,
     PlutoRowAlloc,
     PlutoSubarrayAlloc,
-    ShiftDirection,
 )
-from repro.isa.registers import RowRegister
 from repro.utils.bitops import mask_of
 
 __all__ = ["ExecutionResult", "PlutoController"]
@@ -53,6 +54,8 @@ class ExecutionResult:
     lut_queries: int
     instructions_executed: int
     registers: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Name of the execution backend that produced the functional outputs.
+    backend: str = "functional"
 
     @property
     def latency_ns(self) -> float:
@@ -66,11 +69,23 @@ class ExecutionResult:
 
 
 class PlutoController:
-    """Executes compiled pLUTo programs on a functional engine."""
+    """Executes compiled pLUTo programs on a functional engine.
 
-    def __init__(self, engine: PlutoEngine | None = None) -> None:
+    ``backend`` selects who performs the functional effects: a registry
+    name (``"functional"`` or ``"vectorized"``) or a ready
+    :class:`ExecutionBackend` instance.  The controller reuses the same
+    backend instance across executions, which lets batched sessions share
+    cached LUT gather arrays.
+    """
+
+    def __init__(
+        self,
+        engine: PlutoEngine | None = None,
+        backend: str | ExecutionBackend = "functional",
+    ) -> None:
         self.engine = engine if engine is not None else PlutoEngine(PlutoConfig())
         self.rom = CommandRom()
+        self.backend = resolve_backend(backend)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -92,18 +107,16 @@ class PlutoController:
         trace = CommandTrace(timing=self.engine.timing, energy=self.engine.energy)
         cost_model: PlutoCostModel = self.engine.cost_model
         design: PlutoDesign = self.engine.config.design
+        backend = self.backend
+        backend.begin_program(geometry, design)
 
-        # Functional state: register index -> (values, bit width).
+        # Functional state: register index -> element values.
         values: dict[int, np.ndarray] = {}
-        widths: dict[int, int] = {}
-        # LUT subarrays instantiated on demand, keyed by subarray register.
-        lut_subarrays: dict[int, PlutoSubarray] = {}
 
         register_by_vector = compiled.vector_bindings
         for name, data in inputs.items():
             register = register_by_vector[name]
             values[register.index] = np.asarray(data, dtype=np.uint64)
-            widths[register.index] = register.bit_width
 
         lut_queries = 0
         executed = 0
@@ -115,16 +128,15 @@ class PlutoController:
                     values[instruction.destination.index] = np.zeros(
                         instruction.size_elements, dtype=np.uint64
                     )
-                widths[instruction.destination.index] = instruction.bit_width
                 continue
             if isinstance(instruction, PlutoSubarrayAlloc):
                 allocation = table.bind_subarray(instruction.destination)
                 lut = compiled.lut_bindings[instruction.destination.index]
-                subarray = PlutoSubarray(
-                    geometry, design, index=allocation.subarray
+                backend.load_lut(
+                    instruction.destination.index,
+                    lut,
+                    subarray_index=allocation.subarray,
                 )
-                subarray.load_lut(lut)
-                lut_subarrays[instruction.destination.index] = subarray
                 # Loading the LUT costs one LISA move per LUT row.
                 trace.add(
                     CommandType.LISA_RBM,
@@ -141,15 +153,13 @@ class PlutoController:
 
             if isinstance(instruction, PlutoOp):
                 lut_queries += 1
-                self._execute_lut_query(
-                    instruction, values, widths, lut_subarrays
-                )
+                self._execute_lut_query(instruction, compiled, values)
             elif isinstance(instruction, PlutoBitwise):
-                self._execute_bitwise(instruction, values, widths)
+                self._execute_bitwise(instruction, values)
             elif isinstance(instruction, (PlutoBitShift, PlutoByteShift)):
-                self._execute_shift(instruction, values, widths)
+                self._execute_shift(instruction, values)
             elif isinstance(instruction, PlutoMove):
-                self._execute_move(instruction, values, widths)
+                self._execute_move(instruction, values)
             else:
                 raise ExecutionError(
                     f"unsupported instruction {type(instruction).__name__}"
@@ -170,6 +180,7 @@ class PlutoController:
             lut_queries=lut_queries,
             instructions_executed=executed,
             registers=registers,
+            backend=backend.name,
         )
 
     # ------------------------------------------------------------------ #
@@ -205,78 +216,49 @@ class PlutoController:
                 trace.add(command.kind, meta=command.meta)
 
     # ------------------------------------------------------------------ #
-    # Functional execution helpers
+    # Functional execution helpers (all effects delegated to the backend)
     # ------------------------------------------------------------------ #
-    def _execute_lut_query(self, instruction: PlutoOp, values, widths, lut_subarrays) -> None:
-        subarray = lut_subarrays.get(instruction.lut_subarray.index)
-        if subarray is None:
-            raise ExecutionError(
-                f"{instruction.render()}: LUT subarray was never allocated"
-            )
+    def _execute_lut_query(
+        self, instruction: PlutoOp, compiled: CompiledProgram, values
+    ) -> None:
         source = values.get(instruction.source.index)
         if source is None:
             raise ExecutionError(
                 f"{instruction.render()}: source register has no data"
             )
-        lut = subarray.lut
-        capacity = subarray.elements_per_query()
-        result = np.zeros_like(source)
-        for start in range(0, source.size, capacity):
-            chunk = source[start : start + capacity]
-            if subarray.properties.destructive_reads and not subarray.lut_valid:
-                subarray.reload_lut()
-            result[start : start + chunk.size] = subarray.query_indices(chunk)
+        lut = compiled.lut_bindings[instruction.lut_subarray.index]
+        result = self.backend.lut_query(instruction.lut_subarray.index, source)
         values[instruction.destination.index] = result & np.uint64(
             mask_of(min(64, lut.element_bits))
         )
-        widths[instruction.destination.index] = lut.element_bits
 
-    def _execute_bitwise(self, instruction: PlutoBitwise, values, widths) -> None:
+    def _execute_bitwise(self, instruction: PlutoBitwise, values) -> None:
         a = values[instruction.source1.index]
-        width = instruction.destination.bit_width
-        widths[instruction.destination.index] = width
-        mask = np.uint64(mask_of(min(64, width)))
-        if instruction.kind is BitwiseKind.NOT:
-            result = (~a) & mask
-        else:
-            b = values[instruction.source2.index]
-            if instruction.kind is BitwiseKind.AND:
-                result = a & b
-            elif instruction.kind is BitwiseKind.OR:
-                result = a | b
-            elif instruction.kind is BitwiseKind.XOR:
-                result = a ^ b
-            elif instruction.kind is BitwiseKind.XNOR:
-                result = (~(a ^ b)) & mask
-            else:
-                raise ExecutionError(f"unsupported bitwise kind {instruction.kind}")
-        values[instruction.destination.index] = result & mask
+        b = (
+            values[instruction.source2.index]
+            if instruction.source2 is not None
+            else None
+        )
+        values[instruction.destination.index] = self.backend.bitwise(
+            instruction.kind, a, b, instruction.destination.bit_width
+        )
 
-    def _execute_shift(self, instruction, values, widths) -> None:
-        register: RowRegister = instruction.target
-        data = values[register.index]
+    def _execute_shift(self, instruction, values) -> None:
+        register = instruction.target
         amount = instruction.amount
         if isinstance(instruction, PlutoByteShift):
             amount *= 8
-        width = register.bit_width
-        widths[register.index] = width
-        mask = np.uint64(mask_of(min(64, width)))
-        if instruction.direction is ShiftDirection.LEFT:
-            values[register.index] = (data << np.uint64(amount)) & mask
-        else:
-            values[register.index] = data >> np.uint64(amount)
+        values[register.index] = self.backend.shift(
+            values[register.index], amount, instruction.direction, register.bit_width
+        )
 
-    def _execute_move(self, instruction: PlutoMove, values, widths) -> None:
+    def _execute_move(self, instruction: PlutoMove, values) -> None:
         source = values.get(instruction.source.index)
         if source is None:
             raise ExecutionError(f"{instruction.render()}: source register has no data")
-        destination = values.get(instruction.destination.index)
-        if destination is not None and destination.size >= source.size:
-            destination[: source.size] = source
-            values[instruction.destination.index] = destination
-        else:
-            values[instruction.destination.index] = source.copy()
-        widths[instruction.destination.index] = instruction.destination.bit_width
+        values[instruction.destination.index] = self.backend.move(
+            source, values.get(instruction.destination.index)
+        )
 
     # ------------------------------------------------------------------ #
     # Validation

@@ -14,6 +14,7 @@ from repro.core.ff_buffer import FFBuffer
 from repro.core.lut import (
     LookupTable,
     concat_binary_lut,
+    gather_array,
     lut_from_function,
     replicate_lut_rows,
     sequence_lut,
@@ -39,6 +40,7 @@ __all__ = [
     "FFBuffer",
     "LookupTable",
     "concat_binary_lut",
+    "gather_array",
     "lut_from_function",
     "replicate_lut_rows",
     "sequence_lut",

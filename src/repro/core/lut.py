@@ -20,11 +20,31 @@ from repro.utils.bitops import bit_length_for, mask_of, pack_elements
 
 __all__ = [
     "LookupTable",
+    "gather_array",
     "lut_from_function",
     "replicate_lut_rows",
     "concat_binary_lut",
     "sequence_lut",
 ]
+
+#: LookupTable -> read-only uint64 gather array (tables are immutable, so
+#: the conversion from the value tuple is paid once per distinct LUT).
+_GATHER_CACHE: dict["LookupTable", np.ndarray] = {}
+
+
+def gather_array(lut: "LookupTable") -> np.ndarray:
+    """The LUT contents as a read-only ``uint64`` array for bulk gathers.
+
+    This is the host-side analogue of the vertically replicated in-DRAM
+    layout: ``gather_array(lut)[indices]`` evaluates a whole query vector
+    at once.  The vectorized execution backend is built on it.
+    """
+    array = _GATHER_CACHE.get(lut)
+    if array is None:
+        array = np.asarray(lut.values, dtype=np.uint64)
+        array.setflags(write=False)
+        _GATHER_CACHE[lut] = array
+    return array
 
 
 @dataclass(frozen=True)
@@ -87,8 +107,7 @@ class LookupTable:
             raise LUTError(
                 f"LUT {self.name!r}: query index out of range [0, {len(self)})"
             )
-        table = np.asarray(self.values, dtype=np.uint64)
-        return table[indices]
+        return gather_array(self)[indices]
 
     def rows_required(self, geometry: DRAMGeometry) -> int:
         """Number of subarray rows the LUT occupies (one per entry)."""

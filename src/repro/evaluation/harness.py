@@ -12,6 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
 from repro.baselines.base import BaselineCost
 from repro.baselines.pnm import PnmBaseline
 from repro.baselines.processor import (
@@ -23,6 +27,10 @@ from repro.baselines.processor import (
 from repro.core.designs import PlutoDesign
 from repro.core.engine import DDR4, THREE_DS, CostReport, PlutoConfig, PlutoEngine
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import PlutoSession
+    from repro.controller.executor import ExecutionResult
 
 __all__ = ["PLUTO_CONFIG_LABELS", "WorkloadResult", "EvaluationHarness", "default_pluto_configs"]
 
@@ -108,7 +116,12 @@ class EvaluationHarness:
         configs: dict[str, PlutoConfig] | None = None,
         tfaw_fraction: float = 0.0,
         subarray_override: int | None = None,
+        backend: str = "vectorized",
     ) -> None:
+        #: Execution backend used for bit-exact program execution
+        #: (:meth:`execute_program`); the vectorized NumPy fast path by
+        #: default, switchable to the subarray row-sweep path.
+        self.backend = backend
         self.cpu = ProcessorBaseline(CPU_XEON_5118)
         self.gpu = ProcessorBaseline(GPU_RTX_3080TI)
         self.fpga = ProcessorBaseline(FPGA_ZCU102)
@@ -151,3 +164,27 @@ class EvaluationHarness:
     ) -> list[WorkloadResult]:
         """Run a list of workloads through every system."""
         return [self.evaluate(workload, elements) for workload in workloads]
+
+    # ------------------------------------------------------------------ #
+    # Bit-exact program execution
+    # ------------------------------------------------------------------ #
+    def execute_program(
+        self, session: "PlutoSession", inputs: Mapping[str, np.ndarray]
+    ) -> "dict[str, ExecutionResult]":
+        """Execute an API program bit-exactly on every configured engine.
+
+        Unlike :meth:`evaluate` (which costs an analytical recipe), this
+        compiles the session's program once (cached by structure) and runs
+        it through the controller on each of the six pLUTo configurations,
+        so outputs *and* per-configuration command traces come from real
+        program execution.  The harness backend (vectorized by default)
+        makes this cheap enough to run across all configurations.
+        """
+        from repro.controller.executor import PlutoController
+
+        compiled = session.compile()
+        results: dict[str, ExecutionResult] = {}
+        for label, engine in self.engines.items():
+            controller = PlutoController(engine, backend=self.backend)
+            results[label] = controller.execute(compiled, dict(inputs))
+        return results

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.baselines.processor import (
     CPU_XEON_5118,
     FPGA_ZCU102,
@@ -42,11 +44,18 @@ class QnnCostRow:
 class QnnInferenceModel:
     """Cost model of one quantized LeNet-5 inference on all systems."""
 
-    def __init__(self, bits: int, network: LeNet5 | None = None) -> None:
+    def __init__(
+        self,
+        bits: int,
+        network: LeNet5 | None = None,
+        backend: str = "vectorized",
+    ) -> None:
         if bits not in (1, 4):
             raise ConfigurationError("Table 7 evaluates 1-bit and 4-bit networks")
         self.bits = bits
         self.network = network if network is not None else LeNet5(weight_bits=bits)
+        #: Execution backend used for bit-exact kernel validation.
+        self.backend = backend
 
     # ------------------------------------------------------------------ #
     # Recipe
@@ -99,6 +108,55 @@ class QnnInferenceModel:
     def macs_per_inference(self) -> int:
         """Multiply-accumulate count of one inference."""
         return self.network.macs_per_image
+
+    # ------------------------------------------------------------------ #
+    # Bit-exact kernel validation
+    # ------------------------------------------------------------------ #
+    def validate_mac_kernel(self, elements: int = 1024, seed: int = 0):
+        """Execute this configuration's MAC kernel through the full stack.
+
+        Builds the Section 9 LUT decomposition as an API program — XNOR
+        (4-entry LUT) + popcount for the 1-bit network, 256-entry
+        multiplier LUT + requantization for the 4-bit network — compiles
+        it, executes it on the model's backend, checks the outputs against
+        a host reference, and returns the
+        :class:`~repro.controller.executor.ExecutionResult` (with its full
+        command trace).  Raises :class:`ConfigurationError` on mismatch.
+        """
+        from repro.api.luts import bitcount_lut, quantize_lut
+        from repro.api.session import PlutoSession
+
+        rng = np.random.default_rng(seed)
+        session = PlutoSession(backend=self.backend)
+        if self.bits == 1:
+            a = rng.integers(0, 2, elements)
+            w = rng.integers(0, 2, elements)
+            va = session.pluto_malloc(elements, 1, "act")
+            vw = session.pluto_malloc(elements, 1, "wgt")
+            xnor = session.pluto_malloc(elements, 2, "xnor")
+            out = session.pluto_malloc(elements, 2, "mac")
+            session.api_pluto_bitwise_lut("xnor", va, vw, xnor)
+            session.api_pluto_map(bitcount_lut(2), xnor, out)
+            inputs = {"act": a, "wgt": w}
+            expected = 1 - (a ^ w)
+        else:
+            a = rng.integers(0, 16, elements)
+            w = rng.integers(0, 16, elements)
+            va = session.pluto_malloc(elements, 4, "act")
+            vw = session.pluto_malloc(elements, 4, "wgt")
+            product = session.pluto_malloc(elements, 8, "product")
+            out = session.pluto_malloc(elements, 8, "mac")
+            session.api_pluto_mul(va, vw, product, bit_width=4)
+            session.api_pluto_map(quantize_lut(8, 4), product, out)
+            inputs = {"act": a, "wgt": w}
+            expected = (a * w) >> 4
+        result = session.run(inputs)
+        if not np.array_equal(result.outputs["mac"], expected):
+            raise ConfigurationError(
+                f"{self.bits}-bit MAC kernel diverged from the host reference "
+                f"on the {result.backend!r} backend"
+            )
+        return result
 
     # ------------------------------------------------------------------ #
     # Cost evaluation

@@ -101,9 +101,10 @@ def pack_elements(elements: np.ndarray, bit_width: int, row_bytes: int) -> np.nd
 
     total_bits = row_bytes * 8
     bit_array = np.zeros(total_bits, dtype=np.uint8)
-    for i, value in enumerate(elements.tolist()):
-        for b in range(bit_width):
-            bit_array[i * bit_width + b] = (value >> b) & 1
+    if elements.size:
+        shifts = np.arange(bit_width, dtype=np.uint64)
+        bits = (elements[:, None] >> shifts[None, :]) & np.uint64(1)
+        bit_array[: elements.size * bit_width] = bits.reshape(-1).astype(np.uint8)
     return np.packbits(bit_array, bitorder="little")
 
 
@@ -120,15 +121,12 @@ def unpack_elements(row: np.ndarray, bit_width: int, count: int) -> np.ndarray:
             f"cannot unpack {count} x {bit_width}-bit elements from "
             f"{row.size} bytes"
         )
+    if count == 0:
+        return np.zeros(0, dtype=np.uint64)
     bit_array = np.unpackbits(row, bitorder="little")
-    values = np.zeros(count, dtype=np.uint64)
-    for i in range(count):
-        value = 0
-        base = i * bit_width
-        for b in range(bit_width):
-            value |= int(bit_array[base + b]) << b
-        values[i] = value
-    return values
+    bits = bit_array[: count * bit_width].reshape(count, bit_width).astype(np.uint64)
+    shifts = np.arange(bit_width, dtype=np.uint64)
+    return (bits << shifts[None, :]).sum(axis=1, dtype=np.uint64)
 
 
 def interleave_operands(

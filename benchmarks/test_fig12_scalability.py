@@ -1,6 +1,6 @@
 """Benchmark: reproduce Figure 12 (LUT-query scalability, multiplication efficiency)."""
 
-from repro.evaluation.figures import figure12_scalability
+from repro.evaluation.figures import figure12_scalability, figure12_sharded_scaling
 
 
 def test_fig12_scalability(benchmark):
@@ -17,3 +17,19 @@ def test_fig12_scalability(benchmark):
     # loses at 32 bits (the crossover the paper discusses).
     assert panel_b[4]["pLUTo-BSA_ops_per_j"] > panel_b[4]["PnM_ops_per_j"]
     assert panel_b[32]["pLUTo-BSA_ops_per_j"] < panel_b[32]["PnM_ops_per_j"]
+
+
+def test_fig12_sharded_scaling(benchmark):
+    """Sharded mode: executed bank-parallel programs reproduce the trend."""
+    result = benchmark(figure12_sharded_scaling)
+    rows = {row["shards"]: row for row in result.rows}
+    # Makespan falls monotonically with the number of bank-parallel
+    # shards; the summed serial latency does not (LUT loads replicate).
+    makespans = [rows[n]["makespan_ns"] for n in (1, 2, 4, 8)]
+    assert makespans == sorted(makespans, reverse=True)
+    for n in (2, 4, 8):
+        assert rows[n]["makespan_ns"] < rows[n]["serial_latency_ns"]
+        assert rows[n]["speedup_vs_one_shard"] > 1.0
+    # Scaling is sublinear (the paper's Fig. 12 shape): extra banks pay
+    # a replicated one-time LUT load.
+    assert rows[8]["speedup_vs_one_shard"] < 8.0

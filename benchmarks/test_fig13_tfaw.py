@@ -1,6 +1,6 @@
 """Benchmark: reproduce Figure 13 (tFAW sensitivity)."""
 
-from repro.evaluation.figures import figure13_tfaw_sensitivity
+from repro.evaluation.figures import figure13_sharded_tfaw, figure13_tfaw_sensitivity
 
 
 def test_fig13_tfaw_sensitivity(benchmark, report_scale):
@@ -15,3 +15,18 @@ def test_fig13_tfaw_sensitivity(benchmark, report_scale):
     assert gmeans[0.0] == 1.0
     assert gmeans[1.0] <= gmeans[0.5] <= gmeans[0.0]
     assert gmeans[1.0] > 0.4
+
+
+def test_fig13_sharded_tfaw(benchmark):
+    """Sharded mode: the activation window throttles executed programs."""
+    result = benchmark(figure13_sharded_tfaw)
+    relatives = {
+        row["tfaw_fraction"]: row["relative_performance"] for row in result.rows
+    }
+    fractions = sorted(relatives)
+    assert relatives[fractions[0]] == 1.0
+    # Monotone degradation as the window tightens, with a clear hit at
+    # the largest stress fraction (Section 8.7).
+    ordered = [relatives[fraction] for fraction in fractions]
+    assert ordered == sorted(ordered, reverse=True)
+    assert relatives[fractions[-1]] < 0.5

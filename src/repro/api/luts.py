@@ -25,6 +25,7 @@ from repro.errors import LUTError
 from repro.utils.bitops import mask_of
 
 __all__ = [
+    "BITWISE_OPERATIONS",
     "identity_lut",
     "add_lut",
     "multiply_lut",
@@ -80,6 +81,24 @@ def multiply_lut(operand_bits: int) -> LookupTable:
     )
 
 
+#: Truth functions of the binary bitwise operations, taking the two
+#: operands plus the operand width (for the complementing operations).
+_BITWISE_FUNCTIONS: dict[str, Callable[[int, int, int], int]] = {
+    "and": lambda a, b, bits: a & b,
+    "or": lambda a, b, bits: a | b,
+    "xor": lambda a, b, bits: a ^ b,
+    "nand": lambda a, b, bits: (~(a & b)) & mask_of(bits),
+    "nor": lambda a, b, bits: (~(a | b)) & mask_of(bits),
+    "xnor": lambda a, b, bits: (~(a ^ b)) & mask_of(bits),
+}
+
+#: Binary bitwise operations every bitwise entry point accepts — derived
+#: from the LUT builder's own function table, and validated against by
+#: ``api_pluto_bitwise`` and ``api_pluto_bitwise_lut``, so the accepted
+#: sets of the two session routines can never drift apart again.
+BITWISE_OPERATIONS: frozenset[str] = frozenset(_BITWISE_FUNCTIONS)
+
+
 @lru_cache(maxsize=None)
 def bitwise_lut(operation: str, operand_bits: int = 1) -> LookupTable:
     """LUT for a bitwise operation over concatenated operands.
@@ -87,19 +106,15 @@ def bitwise_lut(operation: str, operand_bits: int = 1) -> LookupTable:
     The paper's "row-level bitwise logic" workload uses 4-entry LUTs
     (1-bit operands).
     """
-    operations: dict[str, Callable[[int, int], int]] = {
-        "and": lambda a, b: a & b,
-        "or": lambda a, b: a | b,
-        "xor": lambda a, b: a ^ b,
-        "nand": lambda a, b: (~(a & b)) & mask_of(operand_bits),
-        "nor": lambda a, b: (~(a | b)) & mask_of(operand_bits),
-        "xnor": lambda a, b: (~(a ^ b)) & mask_of(operand_bits),
-    }
     operation = operation.lower()
-    if operation not in operations:
-        raise LUTError(f"unsupported bitwise LUT operation {operation!r}")
+    function = _BITWISE_FUNCTIONS.get(operation)
+    if function is None:
+        raise LUTError(
+            f"unsupported bitwise LUT operation {operation!r}; expected one of "
+            f"{sorted(BITWISE_OPERATIONS)}"
+        )
     return concat_binary_lut(
-        operations[operation],
+        lambda a, b: function(a, b, operand_bits),
         operand_bits,
         operand_bits,
         2 * operand_bits,

@@ -25,13 +25,14 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.api.handles import ApiCall, PlutoVector
-from repro.api.luts import add_lut, bitwise_lut, multiply_lut
+from repro.api.luts import BITWISE_OPERATIONS, add_lut, bitwise_lut, multiply_lut
 from repro.core.lut import LookupTable
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.backend.base import ExecutionBackend
     from repro.compiler.lowering import CompiledProgram
+    from repro.controller.dispatch import ShardedExecutionResult
     from repro.controller.executor import ExecutionResult
     from repro.core.engine import PlutoEngine
 
@@ -92,9 +93,20 @@ def program_cache_size() -> int:
 
 @dataclass
 class BatchResult:
-    """Results of a batched submission: one ExecutionResult per job."""
+    """Results of a batched submission: one ExecutionResult per job.
+
+    ``makespan_ns`` is set when the batch ran bank-parallel
+    (``run_batch(..., parallel=True)``): the per-job command streams are
+    merged through the timing-aware
+    :class:`~repro.dram.scheduler.CommandScheduler`, so it reflects
+    cross-bank tRRD/tFAW contention instead of a naive per-job sum.  The
+    sum stays available as :attr:`serial_latency_ns`.
+    """
 
     results: "list[ExecutionResult]"
+    #: Scheduler-derived makespan of a bank-parallel batch (None when the
+    #: jobs genuinely ran back to back in one bank).
+    makespan_ns: float | None = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -111,9 +123,21 @@ class BatchResult:
         return [result.outputs for result in self.results]
 
     @property
-    def total_latency_ns(self) -> float:
-        """Modelled latency summed over every job in the batch."""
+    def serial_latency_ns(self) -> float:
+        """Modelled latency summed over every job (single-bank execution)."""
         return sum(result.latency_ns for result in self.results)
+
+    @property
+    def total_latency_ns(self) -> float:
+        """Modelled latency of the whole batch.
+
+        The scheduler-derived makespan for bank-parallel batches; for
+        serial batches the jobs run back to back, so the makespan *is*
+        the per-job sum.
+        """
+        if self.makespan_ns is not None:
+            return self.makespan_ns
+        return self.serial_latency_ns
 
     @property
     def total_energy_nj(self) -> float:
@@ -145,10 +169,22 @@ class PlutoSession:
     # ------------------------------------------------------------------ #
     def pluto_malloc(self, size: int, bit_width: int, name: str | None = None) -> PlutoVector:
         """Allocate a pLUTo-resident vector of ``size`` ``bit_width``-bit elements."""
+        if size <= 0:
+            raise ConfigurationError(
+                f"pluto_malloc needs a positive element count, got {size}"
+            )
+        if bit_width <= 0:
+            raise ConfigurationError(
+                f"pluto_malloc needs a positive bit width, got {bit_width}"
+            )
+        taken = {vector.name for vector in self.vectors}
         if name is None:
+            # Skip over auto-names the user has already claimed explicitly.
+            while f"v{self._counter}" in taken:
+                self._counter += 1
             name = f"v{self._counter}"
             self._counter += 1
-        if any(vector.name == name for vector in self.vectors):
+        elif name in taken:
             raise ConfigurationError(f"a vector named {name!r} already exists")
         vector = PlutoVector(name=name, size=size, bit_width=bit_width)
         self.vectors.append(vector)
@@ -166,12 +202,14 @@ class PlutoSession:
     ) -> ApiCall:
         """Element-wise addition via a concatenated-operand LUT query."""
         self._check_operand_width(in1, in2, bit_width)
+        lut = add_lut(bit_width)
+        self._check_output_width(out, lut)
         return self._record(
             ApiCall(
                 operation="add",
                 inputs=(in1, in2),
                 output=out,
-                lut=add_lut(bit_width),
+                lut=lut,
                 parameters={"bit_width": bit_width},
             )
         )
@@ -181,12 +219,14 @@ class PlutoSession:
     ) -> ApiCall:
         """Element-wise multiplication via a concatenated-operand LUT query."""
         self._check_operand_width(in1, in2, bit_width)
+        lut = multiply_lut(bit_width)
+        self._check_output_width(out, lut)
         return self._record(
             ApiCall(
                 operation="mul",
                 inputs=(in1, in2),
                 output=out,
-                lut=multiply_lut(bit_width),
+                lut=lut,
                 parameters={"bit_width": bit_width},
             )
         )
@@ -200,6 +240,7 @@ class PlutoSession:
                 f"vector {source.name!r} ({source.bit_width}-bit) cannot index a "
                 f"{lut.num_entries}-entry LUT"
             )
+        self._check_output_width(out, lut)
         return self._record(
             ApiCall(operation="map", inputs=(source,), output=out, lut=lut)
         )
@@ -216,11 +257,10 @@ class PlutoSession:
         if operation == "not":
             inputs: tuple[PlutoVector, ...] = (in1,)
         else:
+            self._check_bitwise_operation(operation, unary_allowed=True)
             if in2 is None:
                 raise ConfigurationError(f"bitwise {operation!r} needs two inputs")
             inputs = (in1, in2)
-        if operation not in ("not", "and", "or", "xor", "xnor"):
-            raise ConfigurationError(f"unsupported bitwise operation {operation!r}")
         return self._record(
             ApiCall(operation=operation, inputs=inputs, output=out)
         )
@@ -229,12 +269,16 @@ class PlutoSession:
         self, operation: str, in1: PlutoVector, in2: PlutoVector, out: PlutoVector
     ) -> ApiCall:
         """Bitwise logic expressed as a LUT query (the paper's 4-entry LUTs)."""
+        operation = operation.lower()
+        self._check_bitwise_operation(operation)
+        lut = bitwise_lut(operation, 1)
+        self._check_output_width(out, lut)
         return self._record(
             ApiCall(
-                operation=f"{operation.lower()}_lut",
+                operation=f"{operation}_lut",
                 inputs=(in1, in2),
                 output=out,
-                lut=bitwise_lut(operation, 1),
+                lut=lut,
                 parameters={"bit_width": 1},
             )
         )
@@ -277,14 +321,31 @@ class PlutoSession:
         inputs: Mapping[str, np.ndarray],
         *,
         engine: "PlutoEngine | None" = None,
-    ) -> "ExecutionResult":
+        shards: int = 1,
+    ) -> "ExecutionResult | ShardedExecutionResult":
         """Compile (cached) and execute this program on the session backend.
 
         ``engine`` selects the pLUTo configuration (design/memory); the
         default is pLUTo-BSA on DDR4.  The returned
         :class:`ExecutionResult` carries the outputs and the full command
         trace, identically for every backend.
+
+        ``shards > 1`` partitions the element space across that many DRAM
+        banks and executes the shards bank-parallel: the outputs are
+        bit-identical to the unsharded run, and ``latency_ns`` becomes the
+        scheduler-derived makespan under cross-bank contention — tRRD
+        always, tFAW per the engine's ``tfaw_fraction`` (0, the default,
+        is the paper's unthrottled configuration; pass an engine with
+        ``tfaw_fraction=1.0`` for the nominal four-activation window).
+        See :class:`~repro.controller.dispatch.ShardedExecutionResult`.
         """
+        if shards < 1:
+            raise ConfigurationError("shard count must be >= 1")
+        if shards > 1:
+            from repro.controller.dispatch import ParallelDispatcher
+
+            dispatcher = ParallelDispatcher(engine, backend=self.backend)
+            return dispatcher.execute(self.calls, inputs, shards=shards)
         return self._controller(engine).execute(self.compile(), dict(inputs))
 
     def run_batch(
@@ -292,18 +353,36 @@ class PlutoSession:
         batch: Iterable[Mapping[str, np.ndarray]],
         *,
         engine: "PlutoEngine | None" = None,
+        parallel: bool = False,
     ) -> BatchResult:
         """Execute this program once per input set in ``batch``.
 
         The program is compiled once and the controller (and therefore the
         backend with its cached LUT arrays) is reused across the whole
-        batch.
+        batch.  With ``parallel=True`` the jobs are placed round-robin
+        across the module's banks and the batch's ``total_latency_ns``
+        becomes the scheduler-derived makespan of the merged command
+        streams (the naive sum stays available as ``serial_latency_ns``).
         """
         compiled = self.compile()
         controller = self._controller(engine)
-        return BatchResult(
-            results=[controller.execute(compiled, dict(inputs)) for inputs in batch]
+        if not parallel:
+            return BatchResult(
+                results=[
+                    controller.execute(compiled, dict(inputs)) for inputs in batch
+                ]
+            )
+        from repro.controller.dispatch import merged_makespan_ns
+
+        num_banks = controller.engine.geometry.banks
+        results = [
+            controller.execute(compiled, dict(inputs), bank=index % num_banks)
+            for index, inputs in enumerate(batch)
+        ]
+        makespan = merged_makespan_ns(
+            [result.trace.commands for result in results], controller.engine
         )
+        return BatchResult(results=results, makespan_ns=makespan)
 
     # ------------------------------------------------------------------ #
     # Helpers
@@ -318,6 +397,24 @@ class PlutoSession:
                     f"vector {vector.name!r} is {vector.bit_width}-bit wide but the "
                     f"routine operates on {bit_width}-bit operands"
                 )
+
+    @staticmethod
+    def _check_output_width(out: PlutoVector, lut: LookupTable) -> None:
+        if out.bit_width < lut.element_bits:
+            raise ConfigurationError(
+                f"output vector {out.name!r} is {out.bit_width}-bit wide but LUT "
+                f"{lut.name!r} stores {lut.element_bits}-bit elements"
+            )
+
+    @staticmethod
+    def _check_bitwise_operation(operation: str, *, unary_allowed: bool = False) -> None:
+        if operation not in BITWISE_OPERATIONS:
+            expected = f"one of {sorted(BITWISE_OPERATIONS)}"
+            if unary_allowed:
+                expected = f"'not' or {expected}"
+            raise ConfigurationError(
+                f"unsupported bitwise operation {operation!r}; expected {expected}"
+            )
 
 
 def execute_batch(

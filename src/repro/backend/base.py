@@ -110,6 +110,10 @@ class ExecutionBackend(abc.ABC):
             result = a ^ b
         elif kind is BitwiseKind.XNOR:
             result = (~(a ^ b)) & mask
+        elif kind is BitwiseKind.NAND:
+            result = (~(a & b)) & mask
+        elif kind is BitwiseKind.NOR:
+            result = (~(a | b)) & mask
         else:
             raise ExecutionError(f"unsupported bitwise kind {kind}")
         return result & mask

@@ -175,7 +175,7 @@ class PlutoCompiler:
                     lut_bit_width=call.lut.element_bits,
                 )
             )
-        elif operation in ("not", "and", "or", "xor", "xnor"):
+        elif operation in ("not", "and", "or", "xor", "xnor", "nand", "nor"):
             kind = BitwiseKind(operation)
             program.append(
                 PlutoBitwise(

@@ -1,6 +1,14 @@
-"""The pLUTo Controller (Section 6.4)."""
+"""The pLUTo Controller (Section 6.4) and the bank-parallel dispatcher."""
 
 from repro.controller.allocation_table import AllocationTable, RowAllocation, SubarrayAllocation
+from repro.controller.dispatch import (
+    ParallelDispatcher,
+    ShardedExecutionResult,
+    ShardPlan,
+    ShardPlanner,
+    merged_makespan_ns,
+    sweep_act_interval_ns,
+)
 from repro.controller.executor import ExecutionResult, PlutoController
 from repro.controller.rom import CommandRom
 
@@ -11,4 +19,10 @@ __all__ = [
     "ExecutionResult",
     "PlutoController",
     "CommandRom",
+    "ParallelDispatcher",
+    "ShardedExecutionResult",
+    "ShardPlan",
+    "ShardPlanner",
+    "merged_makespan_ns",
+    "sweep_act_interval_ns",
 ]

@@ -1,0 +1,379 @@
+"""Bank-parallel sharded execution of pLUTo programs.
+
+The paper's scalability results (Figure 12) and the tFAW study
+(Section 8.7) rest on parallelism across subarrays and banks: every bank
+can sweep its own LUT-holding subarray concurrently, with the rank-level
+tRRD/tFAW activation constraints as the only coupling between them.  This
+module adds that execution mode on top of the existing controller:
+
+* :class:`ShardPlanner` partitions a program's element space into
+  contiguous shards and rewrites the recorded API calls so each shard is
+  a complete, smaller program over its slice (equal-sized shards share
+  one compiled program through the structure-keyed compile cache).
+* :class:`ParallelDispatcher` executes every shard through the ordinary
+  :class:`~repro.controller.executor.PlutoController` — and therefore
+  through whichever :class:`~repro.backend.base.ExecutionBackend` the
+  caller selected — placing shard *i* in bank *i* so the per-shard
+  command traces carry distinct bank ids.
+* :func:`merged_makespan_ns` merges the per-shard command streams
+  through the timing-aware :class:`~repro.dram.scheduler.CommandScheduler`,
+  so the aggregate latency is a *makespan* with cross-bank tRRD/tFAW
+  contention enforced, not a naive per-shard sum.
+
+Functional outputs are bit-identical to unsharded execution by
+construction: every shard runs the same lowering over a disjoint slice of
+the same inputs, and the dispatcher concatenates the slices in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.api.handles import ApiCall, PlutoVector
+from repro.backend.base import ExecutionBackend
+from repro.controller.executor import ExecutionResult, PlutoController
+from repro.core.designs import PlutoDesign
+from repro.core.engine import PlutoConfig, PlutoEngine
+from repro.dram.commands import Command, CommandTrace
+from repro.dram.scheduler import CommandScheduler
+from repro.errors import ConfigurationError, ExecutionError
+
+__all__ = [
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardedExecutionResult",
+    "ParallelDispatcher",
+    "sweep_act_interval_ns",
+    "sweep_tail_ns",
+    "sweep_acts_per_row",
+    "merged_makespan_ns",
+]
+
+
+def sweep_act_interval_ns(engine: PlutoEngine) -> float:
+    """ACT-to-ACT spacing inside a Row Sweep for the engine's design.
+
+    Mirrors the per-design query-latency expressions of Table 1:
+    pLUTo-BSA precharges after every activation (tRCD + tRP per row),
+    pLUTo-GMC opens rows back to back (tRCD per row, one trailing
+    precharge), and pLUTo-GSA additionally streams the LUT row back in
+    through a LISA hop before each activation (destructive reads).
+    """
+    timing = engine.timing
+    design = engine.config.design
+    if design is PlutoDesign.GSA:
+        return engine.cost_model.lisa_hop_latency_ns + timing.t_rcd
+    if design is PlutoDesign.GMC:
+        return timing.t_rcd
+    return timing.t_rcd + timing.t_rp
+
+
+def sweep_tail_ns(engine: PlutoEngine) -> float:
+    """Bank occupancy after a Row Sweep's final activation.
+
+    GSA/GMC sweeps precharge once at the end (the ``+ tRP`` term of their
+    Table 1 query latencies); BSA's per-row spacing already contains the
+    precharge, so its sweeps carry no tail.
+    """
+    if engine.config.design is PlutoDesign.BSA:
+        return 0.0
+    return engine.timing.t_rp
+
+
+def sweep_acts_per_row(engine: PlutoEngine) -> int:
+    """Row activations per swept LUT entry (2 for GSA's reload+sweep)."""
+    return 2 if engine.config.design is PlutoDesign.GSA else 1
+
+
+def merged_makespan_ns(
+    command_streams: Sequence[Sequence[Command]], engine: PlutoEngine
+) -> float:
+    """Makespan of concurrent per-bank command streams under rank timing.
+
+    The streams are merged at activation granularity through
+    :meth:`CommandScheduler.merge_streams`, configured with the engine's
+    bank count, its design's sweep spacing, and its configuration's tFAW
+    throttle (``tfaw_fraction``, matching the Figure 13 convention where
+    0 means unthrottled).  Returns the time at which the last command
+    completes.
+    """
+    streams = [stream for stream in command_streams if len(stream)]
+    if not streams:
+        return 0.0
+    timing = engine.timing.with_tfaw_fraction(engine.config.tfaw_fraction)
+    scheduler = CommandScheduler(
+        timing,
+        num_banks=engine.geometry.banks,
+        sweep_act_interval_ns=sweep_act_interval_ns(engine),
+        sweep_tail_ns=sweep_tail_ns(engine),
+        sweep_acts_per_row=sweep_acts_per_row(engine),
+        lisa_hop_ns=engine.cost_model.lisa_hop_latency_ns,
+    )
+    return scheduler.merge_streams(streams)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard: a bank, an element slice, and the rewritten program."""
+
+    index: int
+    bank: int
+    start: int
+    stop: int
+    calls: tuple[ApiCall, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of elements this shard processes."""
+        return self.stop - self.start
+
+
+class ShardPlanner:
+    """Partitions an element-wise API program across banks."""
+
+    def __init__(self, *, num_banks: int = 16) -> None:
+        if num_banks <= 0:
+            raise ConfigurationError("shard planning needs at least one bank")
+        self.num_banks = num_banks
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def plan(self, calls: Sequence[ApiCall], shards: int) -> list[ShardPlan]:
+        """Split ``calls`` into ``shards`` contiguous element slices.
+
+        Shard sizes are balanced (they differ by at most one element), so
+        equal-sized shards lower to structurally identical programs and
+        compile once.  Shard *i* is placed in bank ``i % num_banks``.
+        """
+        if shards <= 0:
+            raise ConfigurationError("shard count must be positive")
+        if shards > self.num_banks:
+            raise ConfigurationError(
+                f"cannot run {shards} shards bank-parallel on a module with "
+                f"{self.num_banks} banks"
+            )
+        size = self._uniform_size(calls)
+        if shards > size:
+            raise ConfigurationError(
+                f"cannot split {size} elements into {shards} non-empty shards"
+            )
+        plans: list[ShardPlan] = []
+        base, remainder = divmod(size, shards)
+        start = 0
+        for index in range(shards):
+            stop = start + base + (1 if index < remainder else 0)
+            plans.append(
+                ShardPlan(
+                    index=index,
+                    # One bank per shard; shards <= num_banks is enforced
+                    # above, so the assignment never wraps.
+                    bank=index,
+                    start=start,
+                    stop=stop,
+                    calls=self._resize_calls(calls, stop - start),
+                )
+            )
+            start = stop
+        return plans
+
+    @staticmethod
+    def _uniform_size(calls: Sequence[ApiCall]) -> int:
+        if not calls:
+            raise ConfigurationError("cannot shard an empty API program")
+        sizes = {
+            vector.size
+            for call in calls
+            for vector in (*call.inputs, call.output)
+        }
+        if len(sizes) != 1:
+            raise ConfigurationError(
+                "sharded execution needs a uniform element count across every "
+                f"vector, got sizes {sorted(sizes)}"
+            )
+        return next(iter(sizes))
+
+    @staticmethod
+    def _resize_calls(calls: Sequence[ApiCall], size: int) -> tuple[ApiCall, ...]:
+        """Rewrite every call over ``size``-element replicas of its vectors."""
+        replicas: dict[str, PlutoVector] = {}
+
+        def _replica(vector: PlutoVector) -> PlutoVector:
+            replica = replicas.get(vector.name)
+            if replica is None:
+                replica = PlutoVector(
+                    name=vector.name, size=size, bit_width=vector.bit_width
+                )
+                replicas[vector.name] = replica
+            return replica
+
+        return tuple(
+            ApiCall(
+                operation=call.operation,
+                inputs=tuple(_replica(vector) for vector in call.inputs),
+                output=_replica(call.output),
+                lut=call.lut,
+                parameters=call.parameters,
+            )
+            for call in calls
+        )
+
+
+@dataclass
+class ShardedExecutionResult(ExecutionResult):
+    """Aggregate result of a bank-parallel execution.
+
+    ``trace`` holds every shard's commands and the *summed* latency/energy
+    (energy genuinely adds across banks; the summed latency is exposed as
+    :attr:`serial_latency_ns`).  :attr:`latency_ns` is overridden with the
+    scheduler-derived :attr:`makespan_ns`, the time at which the slowest
+    bank finishes under cross-bank tRRD/tFAW contention.
+    """
+
+    shard_results: list[ExecutionResult] = field(default_factory=list)
+    shard_plans: list[ShardPlan] = field(default_factory=list)
+    makespan_ns: float = 0.0
+
+    @property
+    def num_shards(self) -> int:
+        """Number of bank-parallel shards that produced this result."""
+        return len(self.shard_results)
+
+    @property
+    def serial_latency_ns(self) -> float:
+        """Cost of draining every shard back to back through one bank.
+
+        This includes each shard's replicated one-time LUT load, so it is
+        the serialisation of *this shard plan* — not the latency of the
+        equivalent unsharded run, which loads each LUT once and can
+        therefore be cheaper than this sum divided by the shard count.
+        """
+        return self.trace.total_latency_ns
+
+    @property
+    def latency_ns(self) -> float:
+        """Scheduler-derived makespan of the bank-parallel execution."""
+        return self.makespan_ns
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Serial drain of this shard plan over its makespan.
+
+        Measures how well the shards overlap (> 1 when they do).  To ask
+        whether sharding beat *not* sharding, compare :attr:`makespan_ns`
+        against the ``latency_ns`` of a ``shards=1`` run, which pays the
+        LUT load only once.
+        """
+        if self.makespan_ns <= 0:
+            return float("inf")
+        return self.serial_latency_ns / self.makespan_ns
+
+
+class ParallelDispatcher:
+    """Executes shard plans through the controller and merges the results."""
+
+    def __init__(
+        self,
+        engine: PlutoEngine | None = None,
+        backend: str | ExecutionBackend = "vectorized",
+    ) -> None:
+        self.engine = engine if engine is not None else PlutoEngine(PlutoConfig())
+        self.controller = PlutoController(self.engine, backend=backend)
+        self.planner = ShardPlanner(num_banks=self.engine.geometry.banks)
+
+    def execute(
+        self,
+        calls: Sequence[ApiCall],
+        inputs: Mapping[str, np.ndarray],
+        *,
+        shards: int,
+    ) -> ShardedExecutionResult:
+        """Run ``calls`` bank-parallel over ``shards`` slices of ``inputs``."""
+        from repro.api.session import compile_cached
+
+        plans = self.planner.plan(calls, shards)
+        arrays = {name: np.asarray(data) for name, data in inputs.items()}
+        self._check_inputs(calls, arrays)
+        shard_results: list[ExecutionResult] = []
+        for plan in plans:
+            compiled = compile_cached(list(plan.calls))
+            shard_inputs = {
+                name: data[plan.start : plan.stop] for name, data in arrays.items()
+            }
+            shard_results.append(
+                self.controller.execute(compiled, shard_inputs, bank=plan.bank)
+            )
+        return self._merge(plans, shard_results)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_inputs(
+        calls: Sequence[ApiCall], arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        """Validate inputs against the *full-size* program vectors.
+
+        The per-shard controller only ever sees exact-size slices, so
+        without this check an oversized input array would be silently
+        truncated — diverging from the unsharded run, which rejects it.
+        """
+        vectors = {
+            vector.name: vector
+            for call in calls
+            for vector in (*call.inputs, call.output)
+        }
+        for name, data in arrays.items():
+            vector = vectors.get(name)
+            if vector is None:
+                raise ExecutionError(
+                    f"input {name!r} is not a vector of this program"
+                )
+            if data.size != vector.size:
+                raise ExecutionError(
+                    f"input {name!r} has {data.size} elements, "
+                    f"expected {vector.size}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def _merge(
+        self, plans: list[ShardPlan], shard_results: list[ExecutionResult]
+    ) -> ShardedExecutionResult:
+        merged_trace = CommandTrace(
+            timing=self.engine.timing, energy=self.engine.energy
+        )
+        for result in shard_results:
+            merged_trace.merge(result.trace)
+        makespan = merged_makespan_ns(
+            [result.trace.commands for result in shard_results], self.engine
+        )
+        outputs = {
+            name: np.concatenate(
+                [result.outputs[name] for result in shard_results]
+            )
+            for name in shard_results[0].outputs
+        }
+        registers = {
+            name: np.concatenate(
+                [result.registers[name] for result in shard_results]
+            )
+            for name in shard_results[0].registers
+        }
+        return ShardedExecutionResult(
+            outputs=outputs,
+            trace=merged_trace,
+            lut_queries=sum(result.lut_queries for result in shard_results),
+            instructions_executed=sum(
+                result.instructions_executed for result in shard_results
+            ),
+            registers=registers,
+            backend=self.controller.backend.name,
+            shard_results=shard_results,
+            shard_plans=plans,
+            makespan_ns=makespan,
+        )

@@ -94,16 +94,25 @@ class PlutoController:
         self,
         compiled: CompiledProgram,
         inputs: dict[str, np.ndarray],
+        *,
+        bank: int = 0,
     ) -> ExecutionResult:
         """Run a compiled program with the given external input vectors.
 
         ``inputs`` maps vector names (as allocated by ``pluto_malloc``) to
         integer element arrays.  The result contains every program output
-        plus the full command trace.
+        plus the full command trace.  ``bank`` selects the DRAM bank the
+        program is placed in: the sharded dispatcher runs one program
+        replica per bank, and every command in the trace carries the bank
+        so the scheduler can model cross-bank tRRD/tFAW contention.
         """
         self._check_inputs(compiled, inputs)
         geometry = self.engine.geometry
-        table = AllocationTable(geometry)
+        if not 0 <= bank < geometry.banks:
+            raise ExecutionError(
+                f"bank {bank} outside the module's range [0, {geometry.banks})"
+            )
+        table = AllocationTable(geometry, bank=bank)
         trace = CommandTrace(timing=self.engine.timing, energy=self.engine.energy)
         cost_model: PlutoCostModel = self.engine.cost_model
         design: PlutoDesign = self.engine.config.design
@@ -137,11 +146,14 @@ class PlutoController:
                     lut,
                     subarray_index=allocation.subarray,
                 )
-                # Loading the LUT costs one LISA move per LUT row.
+                # Loading the LUT costs one LISA move per LUT row; the
+                # command carries the row count so the scheduler charges
+                # every linked activation against the tFAW window.
                 trace.add(
                     CommandType.LISA_RBM,
                     bank=allocation.bank,
                     subarray=allocation.subarray,
+                    rows=lut.num_entries,
                     meta=f"load {lut.name}",
                     latency_ns=cost_model.lut_load_latency_ns(lut.num_entries),
                     energy_nj=cost_model.lut_load_energy_nj(lut.num_entries),
@@ -213,7 +225,7 @@ class PlutoController:
                 )
                 rows = table.bind_row(target).num_rows
             for _ in range(rows):
-                trace.add(command.kind, meta=command.meta)
+                trace.add(command.kind, bank=table.bank, meta=command.meta)
 
     # ------------------------------------------------------------------ #
     # Functional execution helpers (all effects delegated to the backend)

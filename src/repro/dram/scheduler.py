@@ -18,12 +18,53 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.dram.commands import Command, CommandType
 from repro.dram.timing import TimingParameters
-from repro.errors import TimingViolationError
+from repro.errors import ConfigurationError, TimingViolationError
 
-__all__ = ["ScheduledCommand", "CommandScheduler"]
+__all__ = [
+    "ScheduledCommand",
+    "CommandScheduler",
+    "activation_count",
+    "tfaw_lower_bound_ns",
+]
+
+
+def activation_count(command: Command) -> int:
+    """Number of row activations one command contributes to the tFAW window.
+
+    A ``ROW_SWEEP`` activates one row per LUT entry; the compound PuM
+    commands (TRA / ROWCLONE / SHIFT) are ACT-ACT-PRE sequences with two
+    activations; a LISA row-buffer move is one linked activation per row it
+    carries.  RD/WR/PRE/REF do not open new rows.  This is the
+    design-independent floor: pLUTo-GSA's destructive-read reloads add a
+    second activation per swept row on top of it (``sweep_acts_per_row``
+    on the scheduler).
+    """
+    if command.kind is CommandType.ROW_SWEEP:
+        return command.rows
+    if command.kind in (CommandType.TRA, CommandType.ROWCLONE, CommandType.SHIFT):
+        return 2
+    if command.kind is CommandType.LISA_RBM:
+        return command.rows
+    if command.kind is CommandType.ACT:
+        return 1
+    return 0
+
+
+def tfaw_lower_bound_ns(activations: int, timing: TimingParameters) -> float:
+    """Minimum time a rank needs to issue ``activations`` row activations.
+
+    tFAW admits at most four activations per sliding window, so the first
+    activation of every later group of four must wait a full ``t_faw``
+    after the first activation of the group four before it.  This is the
+    scheduler-independent floor any bank-parallel schedule must respect.
+    """
+    if activations <= 4 or timing.t_faw <= 0:
+        return 0.0
+    return ((activations - 1) // 4) * timing.t_faw
 
 
 @dataclass(frozen=True)
@@ -47,9 +88,44 @@ class _BankState:
 class CommandScheduler:
     """Assigns issue times to DRAM commands under timing constraints."""
 
-    def __init__(self, timing: TimingParameters, *, num_banks: int = 16) -> None:
+    def __init__(
+        self,
+        timing: TimingParameters,
+        *,
+        num_banks: int = 16,
+        sweep_act_interval_ns: float | None = None,
+        sweep_tail_ns: float = 0.0,
+        sweep_acts_per_row: int = 1,
+        lisa_hop_ns: float | None = None,
+    ) -> None:
         self.timing = timing
         self.num_banks = num_banks
+        #: ACT-to-ACT spacing inside a Row Sweep.  Defaults to the
+        #: conservative BSA ACT+PRE cycle; the dispatcher passes the
+        #: design-specific spacing (e.g. tRCD only for pLUTo-GMC, whose
+        #: sweeps precharge once at the end).
+        self.sweep_act_interval_ns = (
+            sweep_act_interval_ns
+            if sweep_act_interval_ns is not None
+            else timing.t_rcd + timing.t_rp
+        )
+        #: Bank occupancy after a Row Sweep's last activation (the single
+        #: trailing precharge of the GSA/GMC sweeps; zero for BSA, whose
+        #: per-row spacing already includes the precharge).
+        self.sweep_tail_ns = sweep_tail_ns
+        #: Activations per swept row.  pLUTo-GSA's destructive reads add a
+        #: LISA reload activation before every sweep activation, doubling
+        #: the pressure each row puts on the tRRD/tFAW window.
+        if sweep_acts_per_row < 1:
+            raise ConfigurationError("sweep_acts_per_row must be >= 1")
+        self.sweep_acts_per_row = sweep_acts_per_row
+        #: Latency of one LISA row-buffer hop.  Defaults to the linked
+        #: activate cost (tRCD + tRP); pass the engine cost model's
+        #: ``lisa_hop_latency_ns`` so makespans agree with the trace when
+        #: a custom hop latency is configured.
+        self.lisa_hop_ns = (
+            lisa_hop_ns if lisa_hop_ns is not None else timing.t_rcd + timing.t_rp
+        )
         self._banks: dict[int, _BankState] = {
             bank: _BankState() for bank in range(num_banks)
         }
@@ -84,6 +160,109 @@ class CommandScheduler:
     def issue_all(self, commands: list[Command]) -> list[ScheduledCommand]:
         """Issue a sequence of commands in order."""
         return [self.issue(command) for command in commands]
+
+    # ------------------------------------------------------------------ #
+    # Multi-stream (bank-parallel) merging
+    # ------------------------------------------------------------------ #
+    def merge_streams(self, streams: "Sequence[Sequence[Command]]") -> float:
+        """Makespan of concurrent per-bank command streams.
+
+        Each stream is an ordered command sequence bound to the banks its
+        commands name; streams that share a bank are concatenated (they
+        run back to back).  Unlike :meth:`issue` — which schedules one
+        whole command at a time — this interleaves the streams at
+        *activation* granularity: at every step the bank whose next
+        activation can legally issue earliest (per-bank spacing, command
+        bus, tRRD, tFAW) fires first, which is how a real rank overlaps
+        Row Sweeps across banks.  Returns the completion time of the last
+        event; the scheduler instance must be fresh (nothing issued yet).
+        """
+        if self.schedule or self._recent_acts or self.now_ns:
+            raise TimingViolationError(
+                "merge_streams needs a fresh scheduler; this instance has "
+                "already issued commands"
+            )
+        queues: dict[int, deque[tuple[str, float]]] = {}
+        for stream in streams:
+            for command in stream:
+                if command.bank not in self._banks:
+                    raise TimingViolationError(
+                        f"bank {command.bank} outside scheduler range "
+                        f"[0, {self.num_banks})"
+                    )
+                queue = queues.setdefault(command.bank, deque())
+                queue.extend(self._events_of(command))
+
+        cursors = {bank: 0.0 for bank in queues}
+        makespan = 0.0
+        while queues:
+            # Non-activation occupancy advances its bank without touching
+            # the rank-global activation constraints.
+            for bank in list(queues):
+                queue = queues[bank]
+                while queue and queue[0][0] == "busy":
+                    cursors[bank] += queue.popleft()[1]
+                    makespan = max(makespan, cursors[bank])
+                if not queue:
+                    del queues[bank]
+            if not queues:
+                break
+            best_bank = -1
+            best_time = float("inf")
+            for bank in queues:
+                candidate = max(cursors[bank], self._bus_free_ns)
+                if self.timing.t_rrd > 0:
+                    candidate = max(
+                        candidate, self._last_act_any_bank_ns + self.timing.t_rrd
+                    )
+                if self.timing.t_faw > 0 and len(self._recent_acts) >= 4:
+                    candidate = max(
+                        candidate, self._recent_acts[-4] + self.timing.t_faw
+                    )
+                if candidate < best_time:
+                    best_time = candidate
+                    best_bank = bank
+            _, gap_after = queues[best_bank].popleft()
+            self._record_act(best_time)
+            cursors[best_bank] = best_time + gap_after
+            makespan = max(makespan, cursors[best_bank])
+        self.now_ns = max(self.now_ns, makespan)
+        return makespan
+
+    def _events_of(self, command: Command) -> "list[tuple[str, float]]":
+        """Decompose a command into activation / bus-occupancy events.
+
+        ``("act", gap)`` is one row activation followed by ``gap`` ns of
+        intra-bank spacing before the bank's next event; ``("busy", d)``
+        occupies the bank for ``d`` ns without activating a row.
+        """
+        timing = self.timing
+        if command.kind is CommandType.ROW_SWEEP:
+            sub_interval = self.sweep_act_interval_ns / self.sweep_acts_per_row
+            events = [("act", sub_interval)] * (
+                command.rows * self.sweep_acts_per_row
+            )
+            if self.sweep_tail_ns > 0:
+                events.append(("busy", self.sweep_tail_ns))
+            return events
+        if command.kind is CommandType.LISA_RBM:
+            return [("act", self.lisa_hop_ns)] * command.rows
+        if command.kind in (
+            CommandType.TRA,
+            CommandType.ROWCLONE,
+            CommandType.SHIFT,
+        ):
+            # ACT-ACT-PRE: two linked activations then a precharge.
+            return [("act", timing.t_rcd), ("act", timing.t_rcd + timing.t_rp)]
+        if command.kind is CommandType.ACT:
+            return [("act", timing.t_rcd)]
+        if command.kind is CommandType.PRE:
+            return [("busy", timing.t_rp)]
+        if command.kind in (CommandType.RD, CommandType.WR):
+            return [("busy", timing.t_cl + timing.t_burst)]
+        if command.kind is CommandType.REF:
+            return [("busy", timing.t_rfc)]
+        raise TimingViolationError(f"unsupported command type {command.kind}")
 
     @property
     def elapsed_ns(self) -> float:
@@ -141,10 +320,9 @@ class CommandScheduler:
         """A Row Sweep is modelled as ``rows`` back-to-back activations.
 
         Each activation inside the sweep is subject to tFAW; the per-design
-        ACT spacing (with or without interleaved precharges) is supplied by
-        the caller through the command's metadata-free ``rows`` count and
-        the analytical model — here we conservatively apply the BSA
-        ACT+PRE spacing so scheduler-level tFAW studies have a well-defined
+        ACT spacing (with or without interleaved precharges) comes from
+        ``sweep_act_interval_ns``, which defaults to the conservative BSA
+        ACT+PRE cycle so scheduler-level tFAW studies have a well-defined
         baseline.
         """
         bank = self._banks[command.bank]
@@ -154,16 +332,39 @@ class CommandScheduler:
             )
         start = self._earliest_act_time(bank)
         time_cursor = start
+        sub_interval = self.sweep_act_interval_ns / self.sweep_acts_per_row
+        for _ in range(command.rows * self.sweep_acts_per_row):
+            time_cursor = max(time_cursor, self._earliest_act_time(bank))
+            self._record_act(time_cursor)
+            time_cursor += sub_interval
+        time_cursor += self.sweep_tail_ns
+        bank.ready_ns = time_cursor
+        self.now_ns = max(self.now_ns, time_cursor)
+        return start
+
+    def _issue_lisa(self, command: Command) -> float:
+        """LISA row-buffer movement: one linked activation per row moved.
+
+        LUT loads carry the row count of the table they stream into the
+        subarray; every hop's activation is individually subject to the
+        rank-level tRRD/tFAW constraints, like the activations of a Row
+        Sweep.
+        """
+        bank = self._banks[command.bank]
+        start = self._earliest_act_time(bank)
+        time_cursor = start
         for _ in range(command.rows):
             time_cursor = max(time_cursor, self._earliest_act_time(bank))
             self._record_act(time_cursor)
-            time_cursor += self.timing.t_rcd + self.timing.t_rp
+            time_cursor += self.lisa_hop_ns
         bank.ready_ns = time_cursor
         self.now_ns = max(self.now_ns, time_cursor)
         return start
 
     def _issue_simple(self, command: Command) -> float:
         bank = self._banks[command.bank]
+        if command.kind is CommandType.LISA_RBM:
+            return self._issue_lisa(command)
         issue_time = max(self._bus_free_ns, bank.ready_ns)
         if command.kind in (CommandType.RD, CommandType.WR):
             if bank.open_row is None:
@@ -178,12 +379,12 @@ class CommandScheduler:
             CommandType.ROWCLONE,
             CommandType.SHIFT,
         ):
+            # ACT-ACT-PRE: the opening activation obeys tRRD/tFAW; the
+            # linked second activation follows one tRCD later.
+            issue_time = self._earliest_act_time(bank)
             duration = 2 * self.timing.t_rcd + self.timing.t_rp
             self._record_act(issue_time)
             self._record_act(issue_time + self.timing.t_rcd)
-        elif command.kind is CommandType.LISA_RBM:
-            duration = self.timing.t_rcd + self.timing.t_rp
-            self._record_act(issue_time)
         else:
             raise TimingViolationError(f"unsupported command type {command.kind}")
         bank.ready_ns = issue_time + duration

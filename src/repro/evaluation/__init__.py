@@ -9,6 +9,8 @@ from repro.evaluation.figures import (
     figure10_energy_over_cpu,
     figure11_lut_loading,
     figure12_scalability,
+    figure12_sharded_scaling,
+    figure13_sharded_tfaw,
     figure13_tfaw_sensitivity,
     figure14_salp_scaling,
 )
@@ -36,6 +38,8 @@ __all__ = [
     "figure10_energy_over_cpu",
     "figure11_lut_loading",
     "figure12_scalability",
+    "figure12_sharded_scaling",
+    "figure13_sharded_tfaw",
     "figure13_tfaw_sensitivity",
     "figure14_salp_scaling",
     "PLUTO_CONFIG_LABELS",

@@ -33,9 +33,24 @@ __all__ = [
     "figure10_energy_over_cpu",
     "figure11_lut_loading",
     "figure12_scalability",
+    "figure12_sharded_scaling",
     "figure13_tfaw_sensitivity",
+    "figure13_sharded_tfaw",
     "figure14_salp_scaling",
 ]
+
+
+def _sharded_reference_session(elements: int):
+    """A one-row-per-bank-friendly 256-entry LUT map program (Table 4 idiom)."""
+    from repro.api.luts import color_grade_lut
+    from repro.api.session import PlutoSession
+
+    session = PlutoSession()
+    source = session.pluto_malloc(elements, 8, "pixels")
+    out = session.pluto_malloc(elements, 8, "graded")
+    session.api_pluto_map(color_grade_lut(), source, out)
+    inputs = {"pixels": np.arange(elements, dtype=np.uint64) % 256}
+    return session, inputs
 
 
 @dataclass
@@ -292,6 +307,56 @@ def figure12_scalability(
     return result
 
 
+def figure12_sharded_scaling(
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    elements: int = 65536,
+    tfaw_fraction: float = 1.0,
+) -> FigureResult:
+    """Figure 12's scaling trend from *executed* bank-parallel programs.
+
+    Runs one 256-entry LUT-query program (eight source rows at the
+    default size) through the sharded dispatcher at increasing bank
+    counts and reports the scheduler-derived makespan: more banks sweep
+    concurrently, so the makespan falls while the summed serial latency
+    does not.  This is the execution-layer counterpart of the analytical
+    panel (a) study above.
+    """
+    from repro.controller.dispatch import ParallelDispatcher
+
+    session, inputs = _sharded_reference_session(elements)
+    engine = PlutoEngine(
+        PlutoConfig(design=PlutoDesign.BSA, tfaw_fraction=tfaw_fraction)
+    )
+    result = FigureResult(
+        name="Figure 12 (sharded)",
+        description="Makespan of one LUT-query program vs. bank-parallel shards",
+    )
+    dispatcher = ParallelDispatcher(engine)
+    executions = {
+        shards: dispatcher.execute(session.calls, inputs, shards=shards)
+        for shards in shard_counts
+    }
+    # The speedup baseline is always a true single-shard run, whatever
+    # shard counts the caller asked for.
+    if 1 in executions:
+        reference = executions[1].makespan_ns
+    else:
+        reference = dispatcher.execute(
+            session.calls, inputs, shards=1
+        ).makespan_ns
+    for shards in shard_counts:
+        execution = executions[shards]
+        result.rows.append(
+            {
+                "shards": shards,
+                "makespan_ns": execution.makespan_ns,
+                "serial_latency_ns": execution.serial_latency_ns,
+                "speedup_vs_one_shard": reference / execution.makespan_ns,
+            }
+        )
+    return result
+
+
 # --------------------------------------------------------------------- #
 # Figure 13 — tFAW sensitivity
 # --------------------------------------------------------------------- #
@@ -330,6 +395,47 @@ def figure13_tfaw_sensitivity(
                 "tfaw_fraction": fraction,
                 "workload": "GMEAN",
                 "relative_performance": geometric_mean(relatives),
+            }
+        )
+    return result
+
+
+def figure13_sharded_tfaw(
+    fractions: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0),
+    shards: int = 16,
+    elements: int = 65536,
+) -> FigureResult:
+    """Section 8.7's tFAW throttle observed on executed sharded programs.
+
+    At sixteen bank-parallel shards the cross-bank activation rate is high
+    enough for the four-activation window to bind, so tightening tFAW
+    (larger multiples of the nominal window, the Section 8.7 stress axis;
+    DDR4's nominal tFAW equals 4 x tRRD, so fractions <= 1 are absorbed by
+    tRRD) stretches the scheduler-derived makespan — the execution-layer
+    counterpart of the analytical Figure 13 study.
+    """
+    from repro.controller.dispatch import ParallelDispatcher
+
+    session, inputs = _sharded_reference_session(elements)
+    result = FigureResult(
+        name="Figure 13 (sharded)",
+        description="Sharded makespan under tFAW activation throttling",
+    )
+    reference: float | None = None
+    for fraction in fractions:
+        engine = PlutoEngine(
+            PlutoConfig(design=PlutoDesign.BSA, tfaw_fraction=fraction)
+        )
+        dispatcher = ParallelDispatcher(engine)
+        execution = dispatcher.execute(session.calls, inputs, shards=shards)
+        if reference is None:
+            reference = execution.makespan_ns
+        result.rows.append(
+            {
+                "tfaw_fraction": fraction,
+                "shards": shards,
+                "makespan_ns": execution.makespan_ns,
+                "relative_performance": reference / execution.makespan_ns,
             }
         )
     return result

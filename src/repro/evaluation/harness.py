@@ -169,7 +169,11 @@ class EvaluationHarness:
     # Bit-exact program execution
     # ------------------------------------------------------------------ #
     def execute_program(
-        self, session: "PlutoSession", inputs: Mapping[str, np.ndarray]
+        self,
+        session: "PlutoSession",
+        inputs: Mapping[str, np.ndarray],
+        *,
+        shards: int = 1,
     ) -> "dict[str, ExecutionResult]":
         """Execute an API program bit-exactly on every configured engine.
 
@@ -179,11 +183,27 @@ class EvaluationHarness:
         so outputs *and* per-configuration command traces come from real
         program execution.  The harness backend (vectorized by default)
         makes this cheap enough to run across all configurations.
-        """
-        from repro.controller.executor import PlutoController
 
-        compiled = session.compile()
+        ``shards > 1`` executes each configuration bank-parallel through
+        the :class:`~repro.controller.dispatch.ParallelDispatcher`; the
+        per-configuration results then expose the scheduler-derived
+        makespan as ``latency_ns`` (sum stays on ``serial_latency_ns``).
+        """
+        from repro.controller.dispatch import ParallelDispatcher
+        from repro.controller.executor import PlutoController
+        from repro.errors import ConfigurationError
+
+        if shards < 1:
+            raise ConfigurationError("shard count must be >= 1")
         results: dict[str, ExecutionResult] = {}
+        if shards > 1:
+            for label, engine in self.engines.items():
+                dispatcher = ParallelDispatcher(engine, backend=self.backend)
+                results[label] = dispatcher.execute(
+                    session.calls, inputs, shards=shards
+                )
+            return results
+        compiled = session.compile()
         for label, engine in self.engines.items():
             controller = PlutoController(engine, backend=self.backend)
             results[label] = controller.execute(compiled, dict(inputs))

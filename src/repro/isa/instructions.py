@@ -36,6 +36,8 @@ class BitwiseKind(enum.Enum):
     OR = "or"
     XOR = "xor"
     XNOR = "xnor"
+    NAND = "nand"
+    NOR = "nor"
 
 
 class ShiftDirection(enum.Enum):

@@ -1,0 +1,138 @@
+"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr3.json``.
+
+CI's ``perf-track`` job calls this script.  It
+
+1. runs ``benchmarks/test_backend_speed.py`` (vectorized vs functional
+   wall-clock) and ``benchmarks/test_hierarchy_scaling.py`` (per-level
+   makespan decomposition) through pytest, collecting their JSON payloads;
+2. gates on the recorded floors — the vectorized backend must keep its
+   asserted ``min_speedup`` over the functional backend, and the rank +
+   channel hierarchy levels must keep their ``min_hierarchy_gain`` over
+   banks alone — exiting non-zero on a regression so future PRs cannot
+   silently lose the fast paths PR 1/PR 2/PR 3 bought;
+3. writes the combined trajectory record (wall-clock, modelled latency,
+   speedups) to ``BENCH_pr3.json``, which CI uploads as an artifact.
+
+Run locally with:  python benchmarks/perf_track.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCHMARKS = Path(__file__).resolve().parent
+
+
+def run_benchmarks(workdir: Path) -> tuple[dict, dict, float]:
+    """Run both benchmark files, returning their payloads and wall time."""
+    backend_json = workdir / "backend_speed.json"
+    hierarchy_json = workdir / "hierarchy_scaling.json"
+    env = dict(
+        os.environ,
+        BACKEND_SPEED_JSON=str(backend_json),
+        HIERARCHY_SCALING_JSON=str(hierarchy_json),
+    )
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    start = time.perf_counter()
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(BENCHMARKS / "test_backend_speed.py"),
+            str(BENCHMARKS / "test_hierarchy_scaling.py"),
+            "-q",
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    wall_s = time.perf_counter() - start
+    if completed.returncode != 0:
+        raise SystemExit(
+            f"benchmark run failed with exit code {completed.returncode}"
+        )
+    return (
+        json.loads(backend_json.read_text()),
+        json.loads(hierarchy_json.read_text()),
+        wall_s,
+    )
+
+
+def gate(backend: dict, hierarchy: dict) -> list[str]:
+    """Return regression messages (empty when every floor holds)."""
+    failures = []
+    backend_floor = backend.get("min_speedup", 5.0)
+    if backend["speedup"] < backend_floor:
+        failures.append(
+            f"backend speedup {backend['speedup']:.1f}x fell below the "
+            f"asserted floor {backend_floor}x"
+        )
+    hierarchy_floor = hierarchy.get("min_hierarchy_gain", 2.0)
+    if hierarchy["hierarchy_gain"] < hierarchy_floor:
+        failures.append(
+            f"hierarchy gain {hierarchy['hierarchy_gain']:.2f}x fell below "
+            f"the asserted floor {hierarchy_floor}x"
+        )
+    for row in hierarchy["rows"]:
+        ordered = (
+            row["channel_parallel_makespan_ns"]
+            <= row["rank_parallel_makespan_ns"]
+            <= row["bank_only_makespan_ns"]
+            <= row["serial_latency_ns"]
+        )
+        if not ordered:
+            failures.append(
+                "per-level makespans not monotone for "
+                f"{row['channels']}x{row['ranks']}: {row}"
+            )
+    return failures
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_pr3.json",
+        help="where to write the combined trajectory record",
+    )
+    arguments = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        backend, hierarchy, wall_s = run_benchmarks(Path(tmp))
+    failures = gate(backend, hierarchy)
+
+    record = {
+        "pr": 3,
+        "benchmark_wall_clock_s": wall_s,
+        "backend_speed": backend,
+        "hierarchy_scaling": hierarchy,
+        "regressions": failures,
+    }
+    arguments.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {arguments.output}")
+    print(
+        f"backend speedup {backend['speedup']:.1f}x "
+        f"(floor {backend.get('min_speedup', 5.0)}x); "
+        f"hierarchy gain {hierarchy['hierarchy_gain']:.2f}x "
+        f"(floor {hierarchy.get('min_hierarchy_gain', 2.0)}x)"
+    )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -65,6 +65,9 @@ def test_vectorized_backend_is_faster():
         "functional_s": functional_s,
         "vectorized_s": vectorized_s,
         "speedup": speedup,
+        # The asserted floor, recorded so the perf-track CI gate reads the
+        # same threshold this test enforces.
+        "min_speedup": MIN_SPEEDUP,
     }
     print("BACKEND_SPEED_JSON " + json.dumps(payload))
     output = Path(

@@ -1,0 +1,77 @@
+"""Benchmark: per-level makespans of hierarchical dispatch.
+
+Runs the reference 256-entry LUT map through the hierarchical dispatcher
+for growing device shapes and asserts the PR's acceptance criteria on the
+makespan decomposition:
+
+* per level, enabling more hierarchy never hurts —
+  channel-parallel <= rank-parallel <= bank-only <= serial;
+* rank- and channel-level parallelism genuinely help at scale — the
+  2-channel x 2-rank device beats the single-rank module;
+* wall-clock stays bounded (the vectorized backend executes the shards).
+
+The numbers are emitted as JSON for the bench trajectory (stdout +
+``benchmarks/hierarchy_scaling.json``, overridable via the
+``HIERARCHY_SCALING_JSON`` environment variable); CI's perf-track job
+folds them into ``BENCH_pr3.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.evaluation.figures import figure_hierarchy_scaling
+
+ELEMENTS = 65536
+#: The full hierarchy must beat banks alone by at least the rank x channel
+#: product's worth of headroom on the largest device (2 x 2 = 4, with
+#: slack for bus-occupancy serialization).
+MIN_HIERARCHY_GAIN = 2.0
+
+
+def test_hierarchy_levels_scale():
+    start = time.perf_counter()
+    figure = figure_hierarchy_scaling(elements=ELEMENTS)
+    wall_s = time.perf_counter() - start
+
+    by_shape = {(row["channels"], row["ranks"]): row for row in figure.rows}
+    for shape, row in by_shape.items():
+        assert (
+            row["channel_parallel_makespan_ns"]
+            <= row["rank_parallel_makespan_ns"]
+            <= row["bank_only_makespan_ns"]
+            <= row["serial_latency_ns"]
+        ), f"per-level makespans not monotone for {shape}: {row}"
+
+    single = by_shape[(1, 1)]
+    largest = by_shape[(2, 2)]
+    hierarchy_gain = (
+        largest["total_speedup"] / largest["bank_speedup"]
+    )
+    assert largest["total_speedup"] > single["total_speedup"], (
+        "adding channels/ranks did not increase the total speedup"
+    )
+    assert hierarchy_gain >= MIN_HIERARCHY_GAIN, (
+        f"rank+channel levels only contribute {hierarchy_gain:.2f}x "
+        f"(required {MIN_HIERARCHY_GAIN}x)"
+    )
+
+    payload = {
+        "workload": "hierarchy-scaling (colorgrade8 map, one shard per bank)",
+        "elements": ELEMENTS,
+        "wall_clock_s": wall_s,
+        "min_hierarchy_gain": MIN_HIERARCHY_GAIN,
+        "hierarchy_gain": hierarchy_gain,
+        "rows": figure.rows,
+    }
+    print("HIERARCHY_SCALING_JSON " + json.dumps(payload))
+    output = Path(
+        os.environ.get(
+            "HIERARCHY_SCALING_JSON",
+            Path(__file__).resolve().parent / "hierarchy_scaling.json",
+        )
+    )
+    output.write_text(json.dumps(payload, indent=2) + "\n")

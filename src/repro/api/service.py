@@ -1,0 +1,456 @@
+"""Async serving frontend for pLUTo programs.
+
+The ROADMAP's north star is a system that serves heavy traffic, not a
+one-shot script, so this module puts an :mod:`asyncio` service above the
+execution stack:
+
+* a **bounded request queue** — :meth:`PlutoService.submit` applies
+  backpressure by awaiting a queue slot, and
+  :meth:`PlutoService.submit_nowait` raises
+  :class:`~repro.errors.ServiceOverloadError` immediately when the queue
+  is full, so callers can shed load instead of buffering without bound;
+* **compiled-program cache reuse** — requests compile through the
+  process-wide structure-keyed cache (:func:`repro.api.session.compile_cached`),
+  so a million structurally identical requests compile once;
+* **batch coalescing** — the worker drains the queue and groups
+  consecutive requests with the same program structure into one batch
+  executed on one warm controller (shared backend LUT gather arrays);
+* **per-request latency accounting** — every :class:`ServedResult` carries
+  the wall-clock queue wait and execution time next to the modelled DRAM
+  latency of its program.
+
+The service executes requests through either the plain controller or, when
+constructed with ``hierarchical=True``, the
+:class:`~repro.controller.hierarchy.HierarchicalDispatcher`, spreading each
+request over the engine's channel/rank/bank hierarchy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.errors import ServiceClosedError, ServiceOverloadError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.api.session import PlutoSession
+    from repro.controller.executor import ExecutionResult
+    from repro.core.engine import PlutoEngine
+
+__all__ = ["PlutoService", "ServedResult", "ServiceStats"]
+
+
+@dataclass
+class ServedResult:
+    """One served request: outputs plus latency accounting."""
+
+    request_id: int
+    outputs: dict[str, np.ndarray]
+    #: Modelled DRAM latency of the program (makespan when hierarchical).
+    latency_ns: float
+    #: Modelled DRAM energy of the program.
+    energy_nj: float
+    #: Wall-clock seconds spent queued before execution started.
+    queue_wait_s: float
+    #: Wall-clock seconds spent executing.
+    execute_s: float
+    #: Number of requests coalesced into the batch this one ran in.
+    batch_size: int
+    #: Execution backend that produced the outputs.
+    backend: str
+    #: The full execution result (trace, registers, per-shard results).
+    result: "ExecutionResult"
+
+    @property
+    def turnaround_s(self) -> float:
+        """Wall-clock seconds from submission to completion."""
+        return self.queue_wait_s + self.execute_s
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters over the lifetime of one service."""
+
+    served: int = 0
+    failed: int = 0
+    rejected: int = 0
+    batches: int = 0
+    coalesced: int = 0
+    max_queue_depth: int = 0
+    total_queue_wait_s: float = 0.0
+    total_execute_s: float = 0.0
+    total_latency_ns: float = 0.0
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        """Average wall-clock queue wait per served request."""
+        return self.total_queue_wait_s / self.served if self.served else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of requests executed per coalesced batch."""
+        return self.served / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _PendingRequest:
+    request_id: int
+    calls: list
+    inputs: dict[str, np.ndarray]
+    #: Backend selection of the session this request came from.
+    backend: object
+    enqueued_at: float
+    future: "asyncio.Future[ServedResult]"
+    structure_key: object = field(default=None)
+
+    @property
+    def backend_key(self) -> object:
+        """Hashable identity of the backend (names share, instances don't)."""
+        return self.backend if isinstance(self.backend, str) else id(self.backend)
+
+
+class PlutoService:
+    """An asyncio frontend that serves pLUTo programs from a queue.
+
+    ``session`` fixes the default program every request runs (requests may
+    override it by passing their own session to :meth:`submit`).  Use as an
+    async context manager::
+
+        async with session.serve(max_queue=128) as service:
+            results = await asyncio.gather(
+                *(service.submit(inputs) for inputs in request_stream)
+            )
+
+    ``max_queue`` bounds the number of queued requests (backpressure);
+    ``max_batch`` caps how many structurally identical requests one batch
+    coalesces; ``hierarchical=True`` executes every request through the
+    channel/rank/bank :class:`~repro.controller.hierarchy.HierarchicalDispatcher`.
+    """
+
+    def __init__(
+        self,
+        session: "PlutoSession",
+        *,
+        engine: "PlutoEngine | None" = None,
+        max_queue: int = 64,
+        max_batch: int = 16,
+        hierarchical: bool = False,
+        shards: int | None = None,
+    ) -> None:
+        from repro.errors import ConfigurationError
+
+        if max_queue <= 0:
+            raise ConfigurationError("max_queue must be positive")
+        if max_batch <= 0:
+            raise ConfigurationError("max_batch must be positive")
+        self.session = session
+        self.engine = engine
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.hierarchical = hierarchical
+        self.shards = shards
+        self.stats = ServiceStats()
+        self._queue: asyncio.Queue[_PendingRequest] | None = None
+        self._worker: asyncio.Task | None = None
+        #: A drained-but-unprocessed request: the first one whose program
+        #: structure did not match its batch leader's.  It leads the next
+        #: batch (arrival order is preserved).
+        self._pending: _PendingRequest | None = None
+        self._next_id = 0
+        #: Warm executors, one per backend selection seen in requests.
+        self._controllers: dict[object, object] = {}
+        self._dispatchers: dict[object, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        """Whether the worker loop is accepting requests."""
+        return self._worker is not None and not self._worker.done()
+
+    async def __aenter__(self) -> "PlutoService":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    def start(self) -> None:
+        """Start the worker loop (idempotent)."""
+        if self.running:
+            return
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._worker = asyncio.get_running_loop().create_task(self._run())
+        self._worker.add_done_callback(self._on_worker_done)
+
+    def _on_worker_done(self, worker: "asyncio.Task") -> None:
+        """If the worker loop died, fail queued requests immediately.
+
+        Without this, a crashed worker would leave submitters awaiting
+        until :meth:`close` — retrieving the exception here also keeps
+        asyncio from logging it as never-retrieved.
+        """
+        if worker.cancelled():
+            return
+        error = worker.exception()
+        if error is not None:
+            self._fail_pending(error)
+
+    async def close(self) -> None:
+        """Drain the queue, stop the worker, and reject new submissions.
+
+        Requests that never ran — because the worker died, or because a
+        producer slipped one in during shutdown — get
+        :class:`~repro.errors.ServiceClosedError` (or the worker's crash)
+        set on their futures, so no caller is left awaiting forever.
+        """
+        worker, queue = self._worker, self._queue
+        self._worker = None
+        crash: BaseException | None = None
+        if worker is not None:
+            if not worker.done() and queue is not None:
+                # Drain gracefully, but stop waiting if the worker dies
+                # first (its queue would never empty).
+                join = asyncio.ensure_future(queue.join())
+                await asyncio.wait(
+                    {join, worker}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not join.done():
+                    join.cancel()
+            worker.cancel()
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+            except Exception as error:  # the worker loop crashed
+                crash = error
+        self._fail_pending(
+            crash
+            if crash is not None
+            else ServiceClosedError("service closed before the request ran")
+        )
+
+    def _fail_pending(self, error: BaseException) -> None:
+        """Resolve every request that will never execute with ``error``."""
+        leftovers: list[_PendingRequest] = []
+        if self._pending is not None:
+            leftovers.append(self._pending)
+            self._pending = None
+        if self._queue is not None:
+            while not self._queue.empty():
+                leftovers.append(self._queue.get_nowait())
+        for request in leftovers:
+            self.stats.failed += 1
+            if not request.future.done():
+                request.future.set_exception(error)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        *,
+        session: "PlutoSession | None" = None,
+    ) -> ServedResult:
+        """Queue one request and await its result.
+
+        Blocks (asynchronously) while the bounded queue is full — this is
+        the service's backpressure: a flood of producers is slowed to the
+        rate the executor drains, instead of buffering without bound.
+        """
+        request = self._make_request(inputs, session)
+        queue = self._require_queue()
+        await queue.put(request)
+        self._note_depth(queue)
+        return await request.future
+
+    def submit_nowait(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        *,
+        session: "PlutoSession | None" = None,
+    ) -> "asyncio.Future[ServedResult]":
+        """Enqueue without waiting; shed load when the queue is full.
+
+        Synchronous on purpose: the enqueue-or-reject decision happens at
+        call time, so a producer can catch
+        :class:`~repro.errors.ServiceOverloadError` and back off
+        immediately.  Returns a future resolving to the
+        :class:`ServedResult`.
+        """
+        request = self._make_request(inputs, session)
+        queue = self._require_queue()
+        try:
+            queue.put_nowait(request)
+        except asyncio.QueueFull:
+            self.stats.rejected += 1
+            raise ServiceOverloadError(
+                f"request queue is full ({self.max_queue} pending requests)"
+            ) from None
+        self._note_depth(queue)
+        return request.future
+
+    def _make_request(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        session: "PlutoSession | None",
+    ) -> _PendingRequest:
+        if not self.running:
+            raise ServiceClosedError(
+                "service is not running; use 'async with session.serve()' "
+                "or call start() first"
+            )
+        source = session if session is not None else self.session
+        request = _PendingRequest(
+            request_id=self._next_id,
+            calls=list(source.calls),
+            inputs={name: np.asarray(data) for name, data in inputs.items()},
+            backend=source.backend,
+            enqueued_at=time.monotonic(),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._next_id += 1
+        return request
+
+    def _require_queue(self) -> "asyncio.Queue[_PendingRequest]":
+        if self._queue is None:
+            raise ServiceClosedError("service has no queue; call start() first")
+        return self._queue
+
+    def _note_depth(self, queue: "asyncio.Queue[_PendingRequest]") -> None:
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, queue.qsize())
+
+    # ------------------------------------------------------------------ #
+    # Worker loop
+    # ------------------------------------------------------------------ #
+    async def _run(self) -> None:
+        queue = self._require_queue()
+        while True:
+            if self._pending is not None:
+                leader, self._pending = self._pending, None
+            else:
+                leader = await queue.get()
+            batch = [leader]
+            try:
+                self._coalesce_into(batch, queue)
+                self._execute_batch(batch)
+            except BaseException as error:
+                # The loop itself failed (per-request execution errors are
+                # handled inside _execute_batch): resolve the in-flight
+                # requests before the worker dies, so no submitter hangs.
+                for request in batch:
+                    if not request.future.done():
+                        self.stats.failed += 1
+                        request.future.set_exception(error)
+                raise
+            finally:
+                # One task_done per drained request (the held-over
+                # ``_pending`` request is acknowledged with *its* batch,
+                # so ``queue.join()`` waits for it to actually run).
+                for _ in batch:
+                    queue.task_done()
+            # Yield so producers blocked on the bounded queue make progress
+            # before the next batch is drained.
+            await asyncio.sleep(0)
+
+    def _coalesce_into(
+        self,
+        batch: "list[_PendingRequest]",
+        queue: "asyncio.Queue[_PendingRequest]",
+    ) -> None:
+        """Pull queued requests with the same program structure into ``batch``.
+
+        Only *consecutive* structurally identical requests coalesce, so
+        results keep arrival order; the first request for a different
+        program is parked in ``_pending`` and leads the next batch.
+        """
+        from repro.api.session import program_structure_key
+
+        def key_of(request: _PendingRequest) -> object:
+            if request.structure_key is None:
+                try:
+                    request.structure_key = program_structure_key(request.calls)
+                except TypeError:
+                    request.structure_key = object()  # never coalesces
+            return request.structure_key
+
+        leader_key = (key_of(batch[0]), batch[0].backend_key)
+        while len(batch) < self.max_batch and not queue.empty():
+            candidate = queue.get_nowait()
+            if (key_of(candidate), candidate.backend_key) != leader_key:
+                self._pending = candidate
+                break
+            batch.append(candidate)
+
+    def _execute_batch(self, batch: "list[_PendingRequest]") -> None:
+        self.stats.batches += 1
+        self.stats.coalesced += len(batch) - 1
+        for request in batch:
+            begin = time.monotonic()
+            try:
+                result = self._execute(request)
+            except Exception as error:  # surface on the caller's future
+                self.stats.failed += 1
+                if not request.future.cancelled():
+                    request.future.set_exception(error)
+                continue
+            finish = time.monotonic()
+            served = ServedResult(
+                request_id=request.request_id,
+                outputs=result.outputs,
+                latency_ns=result.latency_ns,
+                energy_nj=result.energy_nj,
+                # Everything before *this request's* execution counts as
+                # queueing — including earlier requests of its own batch —
+                # so turnaround_s is true submission-to-completion time.
+                queue_wait_s=begin - request.enqueued_at,
+                execute_s=finish - begin,
+                batch_size=len(batch),
+                backend=result.backend,
+                result=result,
+            )
+            self.stats.served += 1
+            self.stats.total_queue_wait_s += served.queue_wait_s
+            self.stats.total_execute_s += served.execute_s
+            self.stats.total_latency_ns += served.latency_ns
+            if not request.future.cancelled():
+                request.future.set_result(served)
+
+    def _execute(self, request: _PendingRequest) -> "ExecutionResult":
+        """Run one request on a warm executor for *its* backend.
+
+        Executors are cached per backend selection, so a request that
+        arrived with an overriding session (e.g. a functional-backend
+        session on a vectorized service) runs on the backend that session
+        chose, while same-backend requests keep sharing LUT caches.
+        """
+        from repro.api.session import compile_cached
+
+        key = request.backend_key
+        if self.hierarchical:
+            dispatcher = self._dispatchers.get(key)
+            if dispatcher is None:
+                from repro.controller.hierarchy import HierarchicalDispatcher
+
+                dispatcher = HierarchicalDispatcher(
+                    self.engine, backend=request.backend
+                )
+                self._dispatchers[key] = dispatcher
+            return dispatcher.execute(
+                request.calls, request.inputs, shards=self.shards
+            )
+        controller = self._controllers.get(key)
+        if controller is None:
+            from repro.controller.executor import PlutoController
+
+            controller = PlutoController(self.engine, backend=request.backend)
+            self._controllers[key] = controller
+        return controller.execute(
+            compile_cached(request.calls), dict(request.inputs)
+        )

@@ -19,6 +19,7 @@ trace, whichever backend produced it.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
@@ -30,10 +31,12 @@ from repro.core.lut import LookupTable
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.api.service import PlutoService
     from repro.backend.base import ExecutionBackend
     from repro.compiler.lowering import CompiledProgram
     from repro.controller.dispatch import ShardedExecutionResult
     from repro.controller.executor import ExecutionResult
+    from repro.controller.hierarchy import HierarchicalExecutionResult
     from repro.core.engine import PlutoEngine
 
 __all__ = [
@@ -374,15 +377,76 @@ class PlutoSession:
             )
         from repro.controller.dispatch import merged_makespan_ns
 
+        jobs = list(batch)
         num_banks = controller.engine.geometry.banks
+        if len(jobs) > num_banks:
+            # Placement clamps to the available banks: jobs beyond the
+            # bank count wrap round-robin and run back to back in their
+            # bank, which the merged makespan reflects.  Warn so callers
+            # expecting one bank per job notice the serialization.
+            warnings.warn(
+                f"run_batch(parallel=True) got {len(jobs)} jobs for a module "
+                f"with {num_banks} banks; jobs wrap round-robin and "
+                "serialize within each bank",
+                stacklevel=2,
+            )
         results = [
             controller.execute(compiled, dict(inputs), bank=index % num_banks)
-            for index, inputs in enumerate(batch)
+            for index, inputs in enumerate(jobs)
         ]
         makespan = merged_makespan_ns(
             [result.trace.commands for result in results], controller.engine
         )
         return BatchResult(results=results, makespan_ns=makespan)
+
+    def run_hierarchical(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        *,
+        engine: "PlutoEngine | None" = None,
+        shards: int | None = None,
+    ) -> "HierarchicalExecutionResult":
+        """Execute this program spread over the full DRAM hierarchy.
+
+        Shards are placed channel-first across the engine's channels,
+        ranks, bank groups, and banks (pass an engine built from a
+        ``PlutoConfig(channels=..., ranks=...)`` to model more than the
+        Table 3 single-channel module).  Outputs are bit-identical to
+        :meth:`run`; ``latency_ns`` is the hierarchical makespan and the
+        result decomposes the speedup per level.  ``shards`` defaults to
+        every bank in the device.
+        """
+        from repro.controller.hierarchy import HierarchicalDispatcher
+
+        dispatcher = HierarchicalDispatcher(engine, backend=self.backend)
+        return dispatcher.execute(self.calls, inputs, shards=shards)
+
+    def serve(
+        self,
+        *,
+        engine: "PlutoEngine | None" = None,
+        max_queue: int = 64,
+        max_batch: int = 16,
+        hierarchical: bool = False,
+        shards: int | None = None,
+    ) -> "PlutoService":
+        """An async serving frontend bound to this session's program.
+
+        Returns a :class:`~repro.api.service.PlutoService` (use it as an
+        async context manager) with a bounded request queue, structure-key
+        batch coalescing, and per-request latency accounting.  See
+        :mod:`repro.api.service`.
+        """
+        from repro.api.service import PlutoService
+
+        return PlutoService(
+            self,
+            engine=engine,
+            max_queue=max_queue,
+            max_batch=max_batch,
+            hierarchical=hierarchical,
+            shards=shards,
+        )
 
     # ------------------------------------------------------------------ #
     # Helpers

@@ -1,4 +1,4 @@
-"""The pLUTo Controller (Section 6.4) and the bank-parallel dispatcher."""
+"""The pLUTo Controller (Section 6.4) and the parallel dispatchers."""
 
 from repro.controller.allocation_table import AllocationTable, RowAllocation, SubarrayAllocation
 from repro.controller.dispatch import (
@@ -10,6 +10,15 @@ from repro.controller.dispatch import (
     sweep_act_interval_ns,
 )
 from repro.controller.executor import ExecutionResult, PlutoController
+from repro.controller.hierarchy import (
+    HierarchicalDispatcher,
+    HierarchicalExecutionResult,
+    HierarchyPlanner,
+    HierarchyShard,
+    bus_occupancy_ns,
+    hierarchical_makespan_ns,
+    interleaved_bank_order,
+)
 from repro.controller.rom import CommandRom
 
 __all__ = [
@@ -25,4 +34,11 @@ __all__ = [
     "ShardPlanner",
     "merged_makespan_ns",
     "sweep_act_interval_ns",
+    "HierarchicalDispatcher",
+    "HierarchicalExecutionResult",
+    "HierarchyPlanner",
+    "HierarchyShard",
+    "bus_occupancy_ns",
+    "hierarchical_makespan_ns",
+    "interleaved_bank_order",
 ]

@@ -107,6 +107,7 @@ def merged_makespan_ns(
     scheduler = CommandScheduler(
         timing,
         num_banks=engine.geometry.banks,
+        banks_per_group=engine.geometry.banks_per_group,
         sweep_act_interval_ns=sweep_act_interval_ns(engine),
         sweep_tail_ns=sweep_tail_ns(engine),
         sweep_acts_per_row=sweep_acts_per_row(engine),
@@ -149,36 +150,51 @@ class ShardPlanner:
         equal-sized shards lower to structurally identical programs and
         compile once.  Shard *i* is placed in bank ``i % num_banks``.
         """
-        if shards <= 0:
-            raise ConfigurationError("shard count must be positive")
         if shards > self.num_banks:
             raise ConfigurationError(
                 f"cannot run {shards} shards bank-parallel on a module with "
                 f"{self.num_banks} banks"
             )
-        size = self._uniform_size(calls)
+        return [
+            ShardPlan(
+                index=index,
+                # One bank per shard; shards <= num_banks is enforced
+                # above, so the assignment never wraps.
+                bank=index,
+                start=start,
+                stop=stop,
+                calls=calls_,
+            )
+            for index, (start, stop, calls_) in enumerate(
+                self.plan_slices(calls, shards)
+            )
+        ]
+
+    @classmethod
+    def plan_slices(
+        cls, calls: Sequence[ApiCall], shards: int
+    ) -> list[tuple[int, int, tuple[ApiCall, ...]]]:
+        """Balanced contiguous ``(start, stop, rewritten calls)`` slices.
+
+        The placement-free half of :meth:`plan`: the hierarchical planner
+        reuses it with its own channel/rank/bank mapping, which is not
+        limited to one rank's banks.
+        """
+        if shards <= 0:
+            raise ConfigurationError("shard count must be positive")
+        size = cls._uniform_size(calls)
         if shards > size:
             raise ConfigurationError(
                 f"cannot split {size} elements into {shards} non-empty shards"
             )
-        plans: list[ShardPlan] = []
+        slices: list[tuple[int, int, tuple[ApiCall, ...]]] = []
         base, remainder = divmod(size, shards)
         start = 0
         for index in range(shards):
             stop = start + base + (1 if index < remainder else 0)
-            plans.append(
-                ShardPlan(
-                    index=index,
-                    # One bank per shard; shards <= num_banks is enforced
-                    # above, so the assignment never wraps.
-                    bank=index,
-                    start=start,
-                    stop=stop,
-                    calls=self._resize_calls(calls, stop - start),
-                )
-            )
+            slices.append((start, stop, cls._resize_calls(calls, stop - start)))
             start = stop
-        return plans
+        return slices
 
     @staticmethod
     def _uniform_size(calls: Sequence[ApiCall]) -> int:

@@ -36,7 +36,9 @@ class CommandRom:
         self._ambit = AmbitUnit()
         self._drisa = DrisaShifter()
 
-    def expand(self, instruction: Instruction, *, bank: int = 0, subarray: int = 0) -> list[Command]:
+    def expand(
+        self, instruction: Instruction, *, bank: int = 0, subarray: int = 0
+    ) -> list[Command]:
         """Return the DRAM command sequence for one ISA instruction.
 
         Allocation instructions expand to nothing (they only update the

@@ -12,7 +12,7 @@ the tFAW constraint into a single object that can
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.analytical import PlutoCostModel
 from repro.core.designs import PlutoDesign
@@ -55,12 +55,20 @@ _DEVICE_POWER_W: dict[tuple[PlutoDesign, str], float] = {
 
 @dataclass(frozen=True)
 class PlutoConfig:
-    """One evaluated pLUTo configuration (design x memory x parallelism)."""
+    """One evaluated pLUTo configuration (design x memory x parallelism).
+
+    ``channels`` / ``ranks`` override the memory preset's interface-level
+    hierarchy (Table 3 evaluates one channel with one rank); the
+    hierarchical dispatcher uses them to model channel- and rank-level
+    parallelism above the per-rank bank scheduling.
+    """
 
     design: PlutoDesign = PlutoDesign.BSA
     memory: MemoryKind = DDR4
     subarrays: int | None = None
     tfaw_fraction: float = 0.0
+    channels: int | None = None
+    ranks: int | None = None
 
     def __post_init__(self) -> None:
         if self.memory not in _MEMORY_PRESETS:
@@ -72,6 +80,10 @@ class PlutoConfig:
             raise ConfigurationError("subarray parallelism must be positive")
         if self.tfaw_fraction < 0:
             raise ConfigurationError("tFAW fraction must be >= 0")
+        if self.channels is not None and self.channels <= 0:
+            raise ConfigurationError("channel count must be positive")
+        if self.ranks is not None and self.ranks <= 0:
+            raise ConfigurationError("rank count must be positive")
 
     @property
     def label(self) -> str:
@@ -126,6 +138,12 @@ class PlutoEngine:
     def __init__(self, config: PlutoConfig = PlutoConfig()) -> None:
         self.config = config
         geometry, timing, energy, _ = _MEMORY_PRESETS[config.memory]
+        if config.channels is not None or config.ranks is not None:
+            geometry = replace(
+                geometry,
+                channels=config.channels or geometry.channels,
+                ranks=config.ranks or geometry.ranks,
+            )
         self.geometry = geometry
         self.timing = timing
         self.energy = energy
@@ -174,7 +192,8 @@ class PlutoEngine:
         model = self.cost_model
         design = self.config.design
         latency = sum(model.query_latency_ns(design, n) for n in recipe.sweeps_per_row)
-        latency += model.bitwise_latency_ns(recipe.bitwise_aaps_per_row) if recipe.bitwise_aaps_per_row else 0.0
+        if recipe.bitwise_aaps_per_row:
+            latency += model.bitwise_latency_ns(recipe.bitwise_aaps_per_row)
         latency += model.shift_latency_ns(recipe.shift_commands_per_row)
         if recipe.moves_per_row:
             latency += model.move_latency_ns(recipe.moves_per_row)
@@ -185,7 +204,8 @@ class PlutoEngine:
         model = self.cost_model
         design = self.config.design
         energy = sum(model.query_energy_nj(design, n) for n in recipe.sweeps_per_row)
-        energy += model.bitwise_energy_nj(recipe.bitwise_aaps_per_row) if recipe.bitwise_aaps_per_row else 0.0
+        if recipe.bitwise_aaps_per_row:
+            energy += model.bitwise_energy_nj(recipe.bitwise_aaps_per_row)
         energy += model.shift_energy_nj(recipe.shift_commands_per_row)
         if recipe.moves_per_row:
             energy += model.move_energy_nj(recipe.moves_per_row)

@@ -7,11 +7,14 @@ enforcing the timing constraints that matter for pLUTo:
 * ``tRRD`` between activations to different banks,
 * ``tFAW`` — at most four activations per rank within a sliding window,
   which Section 8.7 identifies as the key throttle on activation-heavy
-  PuM mechanisms.
+  PuM mechanisms,
+* ``tCCD_L`` / ``tCCD_S`` between column accesses to the same / different
+  bank groups, so hierarchical merges see DDR4's bank-group asymmetry.
 
-It is intentionally simpler than a full DDR protocol engine (no command bus
-contention, single rank) because that is the fidelity level of the paper's
-own simulator: command sequences plus timing-parameter enforcement.
+It is intentionally simpler than a full DDR protocol engine (one scheduler
+instance models one rank; the hierarchical dispatcher composes ranks and
+channels above it) because that is the fidelity level of the paper's own
+simulator: command sequences plus timing-parameter enforcement.
 """
 
 from __future__ import annotations
@@ -93,6 +96,7 @@ class CommandScheduler:
         timing: TimingParameters,
         *,
         num_banks: int = 16,
+        banks_per_group: int | None = None,
         sweep_act_interval_ns: float | None = None,
         sweep_tail_ns: float = 0.0,
         sweep_acts_per_row: int = 1,
@@ -100,6 +104,14 @@ class CommandScheduler:
     ) -> None:
         self.timing = timing
         self.num_banks = num_banks
+        #: Banks per bank group: maps a bank id to the bank group whose
+        #: shared column circuitry sets the tCCD_L/tCCD_S spacing.  ``None``
+        #: keeps the DDR4 default of four banks per group.
+        if banks_per_group is None:
+            banks_per_group = 4
+        if banks_per_group <= 0:
+            raise ConfigurationError("banks_per_group must be positive")
+        self.banks_per_group = banks_per_group
         #: ACT-to-ACT spacing inside a Row Sweep.  Defaults to the
         #: conservative BSA ACT+PRE cycle; the dispatcher passes the
         #: design-specific spacing (e.g. tRCD only for pLUTo-GMC, whose
@@ -131,10 +143,33 @@ class CommandScheduler:
         }
         self._recent_acts: deque[float] = deque()
         self._last_act_any_bank_ns: float = float("-inf")
+        #: Start time and bank group of the last column access (RD/WR) on
+        #: this rank, for tCCD_L/tCCD_S start-to-start spacing.
+        self._last_col_ns: float = float("-inf")
+        self._last_col_group: int | None = None
         #: Time the command bus is next free (one clock per command).
         self._bus_free_ns: float = 0.0
         self.now_ns: float = 0.0
         self.schedule: list[ScheduledCommand] = []
+
+    def bank_group_of(self, bank: int) -> int:
+        """Bank group a bank id belongs to."""
+        return bank // self.banks_per_group
+
+    def _earliest_col_time(self, bank: int, lower_bound: float) -> float:
+        """Earliest legal start of a column access on ``bank``."""
+        if self._last_col_group is None:
+            return lower_bound
+        spacing = (
+            self.timing.t_ccd_l
+            if self.bank_group_of(bank) == self._last_col_group
+            else self.timing.t_ccd_s
+        )
+        return max(lower_bound, self._last_col_ns + spacing)
+
+    def _record_col(self, bank: int, time_ns: float) -> None:
+        self._last_col_ns = time_ns
+        self._last_col_group = self.bank_group_of(bank)
 
     # ------------------------------------------------------------------ #
     # Issue logic
@@ -197,11 +232,23 @@ class CommandScheduler:
         makespan = 0.0
         while queues:
             # Non-activation occupancy advances its bank without touching
-            # the rank-global activation constraints.
+            # the rank-global activation constraints; column accesses
+            # additionally respect the bank-group tCCD_L/tCCD_S spacing.
             for bank in list(queues):
                 queue = queues[bank]
-                while queue and queue[0][0] == "busy":
-                    cursors[bank] += queue.popleft()[1]
+                while queue and queue[0][0] != "act":
+                    kind, duration = queue.popleft()
+                    if kind == "col":
+                        start = self._earliest_col_time(
+                            bank, max(cursors[bank], self._bus_free_ns)
+                        )
+                        self._record_col(bank, start)
+                        self._bus_free_ns = max(
+                            self._bus_free_ns, start + self.timing.clock_ns
+                        )
+                        cursors[bank] = start + duration
+                    else:
+                        cursors[bank] += duration
                     makespan = max(makespan, cursors[bank])
                 if not queue:
                     del queues[bank]
@@ -234,7 +281,9 @@ class CommandScheduler:
 
         ``("act", gap)`` is one row activation followed by ``gap`` ns of
         intra-bank spacing before the bank's next event; ``("busy", d)``
-        occupies the bank for ``d`` ns without activating a row.
+        occupies the bank for ``d`` ns without activating a row;
+        ``("col", d)`` is a column access that additionally respects the
+        bank-group tCCD_L/tCCD_S start-to-start spacing.
         """
         timing = self.timing
         if command.kind is CommandType.ROW_SWEEP:
@@ -259,7 +308,7 @@ class CommandScheduler:
         if command.kind is CommandType.PRE:
             return [("busy", timing.t_rp)]
         if command.kind in (CommandType.RD, CommandType.WR):
-            return [("busy", timing.t_cl + timing.t_burst)]
+            return [("col", timing.t_cl + timing.t_burst)]
         if command.kind is CommandType.REF:
             return [("busy", timing.t_rfc)]
         raise TimingViolationError(f"unsupported command type {command.kind}")
@@ -371,6 +420,8 @@ class CommandScheduler:
                 raise TimingViolationError(
                     f"bank {command.bank}: {command.kind.value} with no open row"
                 )
+            issue_time = self._earliest_col_time(command.bank, issue_time)
+            self._record_col(command.bank, issue_time)
             duration = self.timing.t_cl + self.timing.t_burst
         elif command.kind is CommandType.REF:
             duration = self.timing.t_rfc

@@ -37,6 +37,13 @@ class TimingParameters:
         CAS latency (RD command to first data).
     t_ccd:
         Column-to-column delay (back-to-back RD/WR bursts).
+    t_ccd_l:
+        Column-to-column delay between accesses to the *same* bank group
+        (DDR4's long variant: the group's shared column circuitry needs
+        extra turnaround time).
+    t_ccd_s:
+        Column-to-column delay between accesses to *different* bank
+        groups (the short variant; equals the nominal burst spacing).
     t_faw:
         Four-activation window: at most four ACTs per rank per ``t_faw``.
     t_rrd:
@@ -56,6 +63,8 @@ class TimingParameters:
     t_ras: float = 32.0
     t_cl: float = 14.16
     t_ccd: float = 3.33
+    t_ccd_l: float = 5.0
+    t_ccd_s: float = 3.33
     t_faw: float = 13.328
     t_rrd: float = 3.33
     t_refi: float = 7800.0
@@ -69,6 +78,10 @@ class TimingParameters:
                 raise ConfigurationError(f"timing parameter {name} must be >= 0")
         if self.clock_ns <= 0:
             raise ConfigurationError("clock period must be positive")
+        if self.t_ccd_l < self.t_ccd_s:
+            raise ConfigurationError(
+                "tCCD_L (same bank group) cannot be shorter than tCCD_S"
+            )
 
     @property
     def t_rc(self) -> float:
@@ -109,6 +122,8 @@ HMC_3DS = TimingParameters(
     t_ras=24.0,
     t_cl=10.2,
     t_ccd=2.5,
+    t_ccd_l=3.75,
+    t_ccd_s=2.5,
     t_faw=9.6,
     t_rrd=2.5,
     t_refi=3900.0,

@@ -43,3 +43,15 @@ class LUTError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload was configured with invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """The serving frontend failed to process a request."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service's bounded request queue is full (backpressure)."""
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that is not running."""

@@ -13,6 +13,7 @@ from repro.evaluation.figures import (
     figure13_sharded_tfaw,
     figure13_tfaw_sensitivity,
     figure14_salp_scaling,
+    figure_hierarchy_scaling,
 )
 from repro.evaluation.harness import (
     PLUTO_CONFIG_LABELS,
@@ -42,6 +43,7 @@ __all__ = [
     "figure13_sharded_tfaw",
     "figure13_tfaw_sensitivity",
     "figure14_salp_scaling",
+    "figure_hierarchy_scaling",
     "PLUTO_CONFIG_LABELS",
     "EvaluationHarness",
     "WorkloadResult",

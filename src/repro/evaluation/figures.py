@@ -37,6 +37,7 @@ __all__ = [
     "figure13_tfaw_sensitivity",
     "figure13_sharded_tfaw",
     "figure14_salp_scaling",
+    "figure_hierarchy_scaling",
 ]
 
 
@@ -436,6 +437,61 @@ def figure13_sharded_tfaw(
                 "shards": shards,
                 "makespan_ns": execution.makespan_ns,
                 "relative_performance": reference / execution.makespan_ns,
+            }
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Hierarchy scaling — channel/rank/bank decomposition (beyond the paper)
+# --------------------------------------------------------------------- #
+def figure_hierarchy_scaling(
+    hierarchies: tuple[tuple[int, int], ...] = ((1, 1), (1, 2), (2, 1), (2, 2)),
+    elements: int = 65536,
+    tfaw_fraction: float = 1.0,
+) -> FigureResult:
+    """Per-level makespans of one LUT-query program across the hierarchy.
+
+    For every ``(channels, ranks)`` device shape the reference 256-entry
+    LUT map runs through the hierarchical dispatcher with one shard per
+    bank, and the same shard command streams are re-scheduled with levels
+    progressively enabled: serial (one bank), bank-parallel (one rank),
+    rank-parallel (one channel), and the full hierarchy.  Each level can
+    only help, so the four makespans are monotonically non-increasing —
+    the execution-layer decomposition of the throughput scaling the
+    paper's Section 8 attributes to DRAM-wide parallelism.
+    """
+    from repro.controller.hierarchy import HierarchicalDispatcher
+
+    session, inputs = _sharded_reference_session(elements)
+    result = FigureResult(
+        name="Hierarchy scaling",
+        description="Makespan decomposition across channel/rank/bank levels",
+    )
+    for channels, ranks in hierarchies:
+        engine = PlutoEngine(
+            PlutoConfig(
+                design=PlutoDesign.BSA,
+                tfaw_fraction=tfaw_fraction,
+                channels=channels,
+                ranks=ranks,
+            )
+        )
+        execution = HierarchicalDispatcher(engine).execute(session.calls, inputs)
+        decomposition = execution.speedup_decomposition
+        result.rows.append(
+            {
+                "channels": channels,
+                "ranks": ranks,
+                "shards": execution.num_shards,
+                "serial_latency_ns": execution.serial_latency_ns,
+                "bank_only_makespan_ns": execution.bank_only_makespan_ns,
+                "rank_parallel_makespan_ns": execution.rank_parallel_makespan_ns,
+                "channel_parallel_makespan_ns": execution.makespan_ns,
+                "bank_speedup": decomposition["bank"],
+                "rank_speedup": decomposition["rank"],
+                "channel_speedup": decomposition["channel"],
+                "total_speedup": decomposition["total"],
             }
         )
     return result

@@ -56,7 +56,9 @@ class LeNetLayer:
 class LeNet5:
     """A quantized LeNet-5 with deterministic weights."""
 
-    def __init__(self, weight_bits: int = 4, activation_bits: int | None = None, seed: int = 7) -> None:
+    def __init__(
+        self, weight_bits: int = 4, activation_bits: int | None = None, seed: int = 7
+    ) -> None:
         if weight_bits < 1:
             raise ConfigurationError("weight bit width must be >= 1")
         self.weight_bits = weight_bits

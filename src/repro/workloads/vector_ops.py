@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.api.luts import add_lut, multiply_lut
 from repro.core.recipe import WorkloadRecipe
-from repro.utils.fixedpoint import Q1_7, Q1_15, QFormat, from_fixed, to_fixed
+from repro.utils.fixedpoint import Q1_7, QFormat, to_fixed
 from repro.workloads.base import Workload
 
 __all__ = ["VectorAddition", "VectorMultiplication"]

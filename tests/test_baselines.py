@@ -77,8 +77,12 @@ class TestProcessorBaselines:
         )
 
     def test_simd_efficiency_slows_cpu(self):
-        fast = WorkloadRecipe(name="f", element_bits=8, cpu_ops_per_element=8.0, simd_efficiency=1.0)
-        slow = WorkloadRecipe(name="s", element_bits=8, cpu_ops_per_element=8.0, simd_efficiency=0.05)
+        fast = WorkloadRecipe(
+            name="f", element_bits=8, cpu_ops_per_element=8.0, simd_efficiency=1.0
+        )
+        slow = WorkloadRecipe(
+            name="s", element_bits=8, cpu_ops_per_element=8.0, simd_efficiency=0.05
+        )
         cpu = ProcessorBaseline(CPU_XEON_5118)
         assert cpu.latency_ns(slow, 1 << 22) > cpu.latency_ns(fast, 1 << 22)
 

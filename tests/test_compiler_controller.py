@@ -207,7 +207,11 @@ class TestController:
         controller = PlutoController()
         result = controller.execute(
             compiled,
-            {"A": rng.integers(0, 4, 16), "B": rng.integers(0, 4, 16), "C": rng.integers(0, 16, 16)},
+            {
+                "A": rng.integers(0, 4, 16),
+                "B": rng.integers(0, 4, 16),
+                "C": rng.integers(0, 16, 16),
+            },
         )
         assert result.trace.count(CommandType.ROW_SWEEP) == 2
         assert result.trace.count(CommandType.LISA_RBM) >= 2  # LUT loads + moves

@@ -216,6 +216,101 @@ class TestMergeStreams:
         with pytest.raises(TimingViolationError):
             scheduler.merge_streams([[self._sweep(7)]])
 
+    def test_hierarchical_merge_beyond_sixteen_pending_activations(self):
+        """A full rank of sweeps: 64 activations across all 4 bank groups.
+
+        The merge must exercise the 16-entry sliding-window trim (more
+        than 16 activations are pending at once), keep the tFAW floor for
+        the whole activation population, and never beat the per-bank
+        serial cost of its deepest bank.
+        """
+        timing = TimingParameters(t_faw=120.0, t_rrd=0.0, clock_ns=0.5)
+        scheduler = CommandScheduler(
+            timing, sweep_act_interval_ns=10.0, banks_per_group=4
+        )
+        streams = [[self._sweep(bank, rows=4)] for bank in range(16)]
+        makespan = scheduler.merge_streams(streams)
+        assert len(scheduler._recent_acts) == 16
+        assert makespan >= tfaw_lower_bound_ns(64, timing)
+        # Each bank alone needs rows x interval = 40 ns.
+        assert makespan >= 40.0
+
+    def test_merged_sweeps_unaffected_by_bank_groups(self):
+        """Row activations couple through tRRD/tFAW, not tCCD."""
+        timing = TimingParameters(t_faw=0.0, t_rrd=1.0, clock_ns=0.5)
+        same_group = CommandScheduler(
+            timing, sweep_act_interval_ns=10.0, banks_per_group=4
+        )
+        cross_group = CommandScheduler(
+            timing, sweep_act_interval_ns=10.0, banks_per_group=4
+        )
+        assert same_group.merge_streams(
+            [[self._sweep(0)], [self._sweep(1)]]
+        ) == pytest.approx(
+            cross_group.merge_streams([[self._sweep(0)], [self._sweep(4)]])
+        )
+
+
+class TestBankGroupColumnTiming:
+    """tCCD_L / tCCD_S enforcement on column accesses (RD/WR)."""
+
+    def _rd(self, bank: int) -> Command:
+        return Command(CommandType.RD, bank=bank)
+
+    def test_merge_same_group_pays_tccd_l(self):
+        scheduler = CommandScheduler(DDR4_2400, banks_per_group=4)
+        makespan = scheduler.merge_streams([[self._rd(0)], [self._rd(1)]])
+        assert makespan == pytest.approx(
+            DDR4_2400.t_ccd_l + DDR4_2400.t_cl + DDR4_2400.t_burst
+        )
+
+    def test_merge_cross_group_pays_tccd_s(self):
+        scheduler = CommandScheduler(DDR4_2400, banks_per_group=4)
+        makespan = scheduler.merge_streams([[self._rd(0)], [self._rd(4)]])
+        assert makespan == pytest.approx(
+            DDR4_2400.t_ccd_s + DDR4_2400.t_cl + DDR4_2400.t_burst
+        )
+        # The long/short asymmetry is exactly tCCD_L - tCCD_S.
+        assert DDR4_2400.t_ccd_l - DDR4_2400.t_ccd_s == pytest.approx(
+            5.0 - 3.33
+        )
+
+    def test_group_boundary_follows_banks_per_group(self):
+        """Banks 0 and 1 share a group only while banks_per_group > 1."""
+        wide = CommandScheduler(DDR4_2400, banks_per_group=4)
+        narrow = CommandScheduler(DDR4_2400, banks_per_group=1)
+        assert wide.bank_group_of(0) == wide.bank_group_of(3) == 0
+        assert wide.bank_group_of(4) == 1
+        assert narrow.bank_group_of(0) == 0
+        assert narrow.bank_group_of(1) == 1
+        crossed = narrow.merge_streams([[self._rd(0)], [self._rd(1)]])
+        assert crossed == pytest.approx(
+            DDR4_2400.t_ccd_s + DDR4_2400.t_cl + DDR4_2400.t_burst
+        )
+
+    def test_issue_path_enforces_tccd_between_groups(self):
+        scheduler = CommandScheduler(DDR4_2400, banks_per_group=4)
+        scheduler.issue(_act(0))
+        scheduler.issue(_act(1))
+        first = scheduler.issue(Command(CommandType.RD, bank=0))
+        second = scheduler.issue(Command(CommandType.RD, bank=1))
+        assert (
+            second.issue_time_ns - first.issue_time_ns
+            >= DDR4_2400.t_ccd_l - 1e-9
+        )
+
+    def test_rejects_non_positive_banks_per_group(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CommandScheduler(DDR4_2400, banks_per_group=0)
+
+    def test_tccd_l_shorter_than_tccd_s_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            TimingParameters(t_ccd_l=1.0, t_ccd_s=2.0)
+
 
 class TestActivationAccounting:
     def test_activation_count_per_kind(self):

@@ -11,7 +11,7 @@ from repro.dram.bank import Bank
 from repro.dram.commands import CommandTrace, CommandType
 from repro.dram.energy import DDR4_ENERGY
 from repro.dram.subarray import Subarray
-from repro.dram.timing import DDR4_2400, TimingParameters
+from repro.dram.timing import DDR4_2400
 from repro.errors import ConfigurationError
 from repro.inmem.ambit import AmbitUnit
 from repro.inmem.drisa import DrisaShifter

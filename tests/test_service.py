@@ -1,0 +1,261 @@
+"""Tests for the async serving frontend (api/service.py)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.api import PlutoSession, PlutoService
+from repro.controller.hierarchy import HierarchicalExecutionResult
+from repro.core.engine import PlutoConfig, PlutoEngine
+from repro.errors import (
+    ConfigurationError,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
+
+ELEMENTS = 512
+
+
+def _add_program() -> PlutoSession:
+    session = PlutoSession()
+    a = session.pluto_malloc(ELEMENTS, 4, "a")
+    b = session.pluto_malloc(ELEMENTS, 4, "b")
+    out = session.pluto_malloc(ELEMENTS, 8, "out")
+    session.api_pluto_add(a, b, out, bit_width=4)
+    return session
+
+
+def _mul_program() -> PlutoSession:
+    session = PlutoSession()
+    a = session.pluto_malloc(ELEMENTS, 2, "a")
+    b = session.pluto_malloc(ELEMENTS, 2, "b")
+    out = session.pluto_malloc(ELEMENTS, 4, "out")
+    session.api_pluto_mul(a, b, out, bit_width=2)
+    return session
+
+
+def _add_inputs(rng: np.random.Generator) -> dict[str, np.ndarray]:
+    return {
+        "a": rng.integers(0, 16, ELEMENTS),
+        "b": rng.integers(0, 16, ELEMENTS),
+    }
+
+
+class TestServing:
+    def test_serves_correct_outputs_with_accounting(self):
+        async def main():
+            session = _add_program()
+            rng = np.random.default_rng(3)
+            requests = [_add_inputs(rng) for _ in range(10)]
+            async with session.serve(max_queue=4, max_batch=4) as service:
+                results = await asyncio.gather(
+                    *(service.submit(inputs) for inputs in requests)
+                )
+            for inputs, served in zip(requests, results):
+                assert np.array_equal(
+                    served.outputs["out"], inputs["a"] + inputs["b"]
+                )
+                assert served.latency_ns > 0
+                assert served.energy_nj > 0
+                assert served.queue_wait_s >= 0
+                assert served.execute_s >= 0
+                assert served.turnaround_s == pytest.approx(
+                    served.queue_wait_s + served.execute_s
+                )
+                assert 1 <= served.batch_size <= 4
+            assert [served.request_id for served in results] == list(range(10))
+            stats = service.stats
+            assert stats.served == 10
+            assert stats.failed == 0
+            assert stats.max_queue_depth <= 4
+            assert stats.total_latency_ns == pytest.approx(
+                sum(served.latency_ns for served in results)
+            )
+
+        asyncio.run(main())
+
+    def test_coalesces_structurally_identical_requests(self):
+        async def main():
+            session = _add_program()
+            rng = np.random.default_rng(5)
+            async with session.serve(max_queue=16, max_batch=8) as service:
+                results = await asyncio.gather(
+                    *(service.submit(_add_inputs(rng)) for _ in range(8))
+                )
+                assert service.stats.coalesced > 0
+                assert any(served.batch_size > 1 for served in results)
+            assert service.stats.mean_batch_size > 1.0
+
+        asyncio.run(main())
+
+    def test_mixed_programs_split_batches(self):
+        async def main():
+            add, mul = _add_program(), _mul_program()
+            rng = np.random.default_rng(7)
+            mul_inputs = {
+                "a": rng.integers(0, 4, ELEMENTS),
+                "b": rng.integers(0, 4, ELEMENTS),
+            }
+            async with add.serve(max_queue=16, max_batch=8) as service:
+                jobs = []
+                for index in range(6):
+                    if index % 2:
+                        jobs.append(service.submit(mul_inputs, session=mul))
+                    else:
+                        jobs.append(service.submit(_add_inputs(rng)))
+                results = await asyncio.gather(*jobs)
+            for index, served in enumerate(results):
+                if index % 2:
+                    assert np.array_equal(
+                        served.outputs["out"], mul_inputs["a"] * mul_inputs["b"]
+                    )
+            # Alternating shapes cannot coalesce across the boundary.
+            assert service.stats.batches >= 2
+
+        asyncio.run(main())
+
+    def test_submit_nowait_sheds_load(self):
+        async def main():
+            session = _add_program()
+            rng = np.random.default_rng(9)
+            async with session.serve(max_queue=1, max_batch=1) as service:
+                futures, rejected = [], 0
+                for _ in range(6):
+                    try:
+                        futures.append(service.submit_nowait(_add_inputs(rng)))
+                    except ServiceOverloadError:
+                        rejected += 1
+                await asyncio.gather(*futures)
+                assert rejected > 0
+                assert service.stats.rejected == rejected
+                assert service.stats.served == len(futures)
+
+        asyncio.run(main())
+
+    def test_closed_service_rejects_submissions(self):
+        async def main():
+            session = _add_program()
+            service = session.serve()
+            with pytest.raises(ServiceClosedError):
+                await service.submit(_add_inputs(np.random.default_rng(1)))
+            async with service:
+                assert service.running
+            assert not service.running
+            with pytest.raises(ServiceClosedError):
+                await service.submit(_add_inputs(np.random.default_rng(1)))
+
+        asyncio.run(main())
+
+    def test_execution_errors_surface_on_the_caller(self):
+        async def main():
+            session = _add_program()
+            rng = np.random.default_rng(13)
+            async with session.serve() as service:
+                with pytest.raises(Exception):
+                    await service.submit({"a": np.zeros(7), "b": np.zeros(7)})
+                assert service.stats.failed == 1
+                # The service keeps serving after a failed request.
+                served = await service.submit(_add_inputs(rng))
+                assert served.latency_ns > 0
+
+        asyncio.run(main())
+
+    def test_hierarchical_service(self):
+        async def main():
+            session = _add_program()
+            rng = np.random.default_rng(17)
+            engine = PlutoEngine(
+                PlutoConfig(tfaw_fraction=1.0, channels=2, ranks=2)
+            )
+            inputs = _add_inputs(rng)
+            async with session.serve(
+                engine=engine, hierarchical=True, shards=8
+            ) as service:
+                served = await service.submit(inputs)
+            assert isinstance(served.result, HierarchicalExecutionResult)
+            assert served.result.num_shards == 8
+            assert np.array_equal(
+                served.outputs["out"], inputs["a"] + inputs["b"]
+            )
+            assert served.latency_ns == served.result.makespan_ns
+
+        asyncio.run(main())
+
+    def test_session_override_keeps_its_backend(self):
+        """A request's overriding session runs on *that* session's backend."""
+
+        async def main():
+            vectorized = _add_program()
+            functional = _add_program()
+            functional.backend = "functional"
+            rng = np.random.default_rng(29)
+            inputs = _add_inputs(rng)
+            async with vectorized.serve() as service:
+                fast = await service.submit(inputs)
+                slow = await service.submit(inputs, session=functional)
+            assert fast.backend == "vectorized"
+            assert slow.backend == "functional"
+            assert np.array_equal(fast.outputs["out"], slow.outputs["out"])
+            assert fast.latency_ns == pytest.approx(slow.latency_ns)
+
+        asyncio.run(main())
+
+    def test_worker_crash_resolves_all_pending_futures(self):
+        """A dead worker must not leave submitters awaiting forever."""
+
+        async def main():
+            session = _add_program()
+            rng = np.random.default_rng(19)
+            service = session.serve(max_queue=8, max_batch=2)
+            async with service:
+                def boom(batch):
+                    raise RuntimeError("worker loop crashed")
+
+                service._execute_batch = boom
+                futures = [
+                    service.submit_nowait(_add_inputs(rng)) for _ in range(4)
+                ]
+                # close() drains: every future must resolve (with the
+                # crash or ServiceClosedError), never hang.
+                done, pending = await asyncio.wait(futures, timeout=5.0)
+                assert not pending
+            for future in futures:
+                with pytest.raises((RuntimeError, ServiceClosedError)):
+                    future.result()
+            assert service.stats.failed == 4
+            assert service.stats.served == 0
+
+        asyncio.run(main())
+
+    def test_turnaround_covers_intra_batch_wait(self):
+        """Later requests of a batch count earlier executions as queueing."""
+
+        async def main():
+            session = _add_program()
+            rng = np.random.default_rng(23)
+            async with session.serve(max_queue=8, max_batch=8) as service:
+                results = await asyncio.gather(
+                    *(service.submit(_add_inputs(rng)) for _ in range(6))
+                )
+            coalesced = [s for s in results if s.batch_size > 1]
+            assert coalesced, "expected at least one coalesced batch"
+            # Within one batch, queue_wait grows with position: request
+            # i waits for requests 0..i-1 of its own batch.
+            by_batch: dict[float, list] = {}
+            for served in results:
+                by_batch.setdefault(served.batch_size, []).append(served)
+            for served in results:
+                assert served.queue_wait_s >= 0
+                assert served.turnaround_s >= served.execute_s
+
+        asyncio.run(main())
+
+    def test_rejects_bad_bounds(self):
+        session = _add_program()
+        with pytest.raises(ConfigurationError):
+            PlutoService(session, max_queue=0)
+        with pytest.raises(ConfigurationError):
+            PlutoService(session, max_batch=-1)

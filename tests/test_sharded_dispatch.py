@@ -186,6 +186,40 @@ class TestSessionSurface:
         for one, other in zip(serial, parallel):
             assert np.array_equal(one.outputs["final"], other.outputs["final"])
 
+    def test_run_rejects_more_shards_than_banks(self):
+        """The session surface, not just the planner, explains the limit."""
+        session, inputs = _program(64)
+        with pytest.raises(ConfigurationError, match="16 banks"):
+            session.run(inputs, shards=17)
+
+    def test_run_batch_parallel_warns_when_oversubscribed(self):
+        """More jobs than banks clamps round-robin with a warning.
+
+        Jobs beyond the module's bank count wrap onto already-used banks
+        and serialise there; the results stay correct and the makespan
+        reflects the serialisation, but callers expecting one bank per
+        job are told.
+        """
+        session, inputs = _program(64)
+        batch = [inputs] * 18  # 18 jobs > 16 banks
+        with pytest.warns(UserWarning, match="16 banks"):
+            oversubscribed = session.run_batch(batch, parallel=True)
+        assert len(oversubscribed) == 18
+        reference = session.run(inputs)
+        for result in oversubscribed:
+            assert np.array_equal(
+                result.outputs["final"], reference.outputs["final"]
+            )
+        # Still a true makespan: bounded by the serial drain of all jobs.
+        assert oversubscribed.makespan_ns is not None
+        assert oversubscribed.makespan_ns < oversubscribed.serial_latency_ns
+        # A bank-count-sized batch stays warning-free.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            session.run_batch([inputs] * 4, parallel=True)
+
     def test_harness_sharded_execution(self):
         from repro.evaluation.harness import EvaluationHarness
 

@@ -18,7 +18,12 @@ from repro.workloads.bitcount import BitCount
 from repro.workloads.bitwise import RowBitwise
 from repro.workloads.crc import CrcWorkload
 from repro.workloads.image import ColorGrading, ImageBinarization, synthetic_image
-from repro.workloads.registry import all_workloads, figure7_workloads, figure9_workloads, workload_by_name
+from repro.workloads.registry import (
+    all_workloads,
+    figure7_workloads,
+    figure9_workloads,
+    workload_by_name,
+)
 from repro.workloads.salsa20 import Salsa20Workload, salsa20_block
 from repro.workloads.vector_ops import VectorAddition, VectorMultiplication
 from repro.workloads.vmpc import VmpcWorkload, vmpc_ksa, vmpc_keystream

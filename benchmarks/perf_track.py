@@ -1,17 +1,21 @@
-"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr3.json``.
+"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr4.json``.
 
 CI's ``perf-track`` job calls this script.  It
 
 1. runs ``benchmarks/test_backend_speed.py`` (vectorized vs functional
-   wall-clock) and ``benchmarks/test_hierarchy_scaling.py`` (per-level
-   makespan decomposition) through pytest, collecting their JSON payloads;
-2. gates on the recorded floors — the vectorized backend must keep its
-   asserted ``min_speedup`` over the functional backend, and the rank +
-   channel hierarchy levels must keep their ``min_hierarchy_gain`` over
-   banks alone — exiting non-zero on a regression so future PRs cannot
-   silently lose the fast paths PR 1/PR 2/PR 3 bought;
-3. writes the combined trajectory record (wall-clock, modelled latency,
-   speedups) to ``BENCH_pr3.json``, which CI uploads as an artifact.
+   wall-clock), ``benchmarks/test_hierarchy_scaling.py`` (per-level
+   makespan decomposition + fused vs per-shard dispatch), and
+   ``benchmarks/test_scheduler_speed.py`` (event-driven vs
+   memoized+analytic makespan throughput) through pytest, collecting
+   their JSON payloads;
+2. gates on the recorded floors — the PR 1-3 floors (vectorized backend
+   speedup, hierarchy gain, per-level monotonicity) plus the PR 4 floors
+   (hierarchy-figure wall-clock budget, dispatch-fusion speedup,
+   memoized-scheduling speedup) — exiting non-zero on a regression so
+   future PRs cannot silently lose the fast paths;
+3. writes the combined record to ``BENCH_pr4.json``, including the
+   cross-PR wall-clock trajectory (seeded from ``BENCH_pr3.json`` when
+   present), which CI uploads as an artifact.
 
 Run locally with:  python benchmarks/perf_track.py
 """
@@ -29,16 +33,19 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCHMARKS = Path(__file__).resolve().parent
+PR = 4
 
 
-def run_benchmarks(workdir: Path) -> tuple[dict, dict, float]:
-    """Run both benchmark files, returning their payloads and wall time."""
+def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, float]:
+    """Run the benchmark files, returning their payloads and wall time."""
     backend_json = workdir / "backend_speed.json"
     hierarchy_json = workdir / "hierarchy_scaling.json"
+    scheduler_json = workdir / "scheduler_speed.json"
     env = dict(
         os.environ,
         BACKEND_SPEED_JSON=str(backend_json),
         HIERARCHY_SCALING_JSON=str(hierarchy_json),
+        SCHEDULER_SPEED_JSON=str(scheduler_json),
     )
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
@@ -52,6 +59,7 @@ def run_benchmarks(workdir: Path) -> tuple[dict, dict, float]:
             "pytest",
             str(BENCHMARKS / "test_backend_speed.py"),
             str(BENCHMARKS / "test_hierarchy_scaling.py"),
+            str(BENCHMARKS / "test_scheduler_speed.py"),
             "-q",
         ],
         env=env,
@@ -65,11 +73,12 @@ def run_benchmarks(workdir: Path) -> tuple[dict, dict, float]:
     return (
         json.loads(backend_json.read_text()),
         json.loads(hierarchy_json.read_text()),
+        json.loads(scheduler_json.read_text()),
         wall_s,
     )
 
 
-def gate(backend: dict, hierarchy: dict) -> list[str]:
+def gate(backend: dict, hierarchy: dict, scheduler: dict) -> list[str]:
     """Return regression messages (empty when every floor holds)."""
     failures = []
     backend_floor = backend.get("min_speedup", 5.0)
@@ -96,7 +105,53 @@ def gate(backend: dict, hierarchy: dict) -> list[str]:
                 "per-level makespans not monotone for "
                 f"{row['channels']}x{row['ranks']}: {row}"
             )
+    wall_budget = hierarchy.get("max_wall_clock_s", 0.53)
+    if hierarchy["wall_clock_s"] > wall_budget:
+        failures.append(
+            f"hierarchy figure wall-clock {hierarchy['wall_clock_s']:.2f}s "
+            f"blew the fused+memoized budget {wall_budget}s"
+        )
+    fusion = hierarchy.get("dispatch_fusion", {})
+    fusion_floor = fusion.get("min_fusion_speedup", 1.5)
+    if fusion and fusion["fusion_speedup"] < fusion_floor:
+        failures.append(
+            f"dispatch fusion speedup {fusion['fusion_speedup']:.2f}x fell "
+            f"below the asserted floor {fusion_floor}x"
+        )
+    scheduler_floor = scheduler.get("min_speedup", 25.0)
+    if scheduler["memoized_speedup"] < scheduler_floor:
+        failures.append(
+            f"memoized scheduling speedup {scheduler['memoized_speedup']:.1f}x "
+            f"fell below the asserted floor {scheduler_floor}x"
+        )
     return failures
+
+
+def trajectory(hierarchy: dict, wall_s: float) -> list[dict]:
+    """The cross-PR wall-clock record, seeded from the previous bench file."""
+    points = []
+    previous = REPO_ROOT / "BENCH_pr3.json"
+    if previous.exists():
+        try:
+            record = json.loads(previous.read_text())
+            previous_hierarchy = record.get("hierarchy_scaling", {})
+            points.append(
+                {
+                    "pr": record.get("pr", 3),
+                    "benchmark_wall_clock_s": record.get("benchmark_wall_clock_s"),
+                    "hierarchy_wall_clock_s": previous_hierarchy.get("wall_clock_s"),
+                }
+            )
+        except (json.JSONDecodeError, OSError):
+            pass
+    points.append(
+        {
+            "pr": PR,
+            "benchmark_wall_clock_s": wall_s,
+            "hierarchy_wall_clock_s": hierarchy["wall_clock_s"],
+        }
+    )
+    return points
 
 
 def main() -> None:
@@ -104,29 +159,39 @@ def main() -> None:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_pr3.json",
+        default=REPO_ROOT / f"BENCH_pr{PR}.json",
         help="where to write the combined trajectory record",
     )
     arguments = parser.parse_args()
 
     with tempfile.TemporaryDirectory() as tmp:
-        backend, hierarchy, wall_s = run_benchmarks(Path(tmp))
-    failures = gate(backend, hierarchy)
+        backend, hierarchy, scheduler, wall_s = run_benchmarks(Path(tmp))
+    failures = gate(backend, hierarchy, scheduler)
 
     record = {
-        "pr": 3,
+        "pr": PR,
         "benchmark_wall_clock_s": wall_s,
         "backend_speed": backend,
         "hierarchy_scaling": hierarchy,
+        "scheduler_speed": scheduler,
+        "dispatch_fusion": hierarchy.get("dispatch_fusion", {}),
+        "trajectory": trajectory(hierarchy, wall_s),
         "regressions": failures,
     }
     arguments.output.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {arguments.output}")
+    fusion = hierarchy.get("dispatch_fusion", {})
     print(
         f"backend speedup {backend['speedup']:.1f}x "
         f"(floor {backend.get('min_speedup', 5.0)}x); "
         f"hierarchy gain {hierarchy['hierarchy_gain']:.2f}x "
-        f"(floor {hierarchy.get('min_hierarchy_gain', 2.0)}x)"
+        f"(floor {hierarchy.get('min_hierarchy_gain', 2.0)}x); "
+        f"hierarchy wall {hierarchy['wall_clock_s']:.2f}s "
+        f"(budget {hierarchy.get('max_wall_clock_s', 0.53)}s); "
+        f"fusion {fusion.get('fusion_speedup', float('nan')):.2f}x "
+        f"(floor {fusion.get('min_fusion_speedup', 1.5)}x); "
+        f"memoized scheduling {scheduler['memoized_speedup']:.0f}x "
+        f"(floor {scheduler.get('min_speedup', 25.0)}x)"
     )
     if failures:
         for failure in failures:

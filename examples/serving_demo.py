@@ -102,6 +102,16 @@ async def serve_mixed_traffic() -> None:
             f"{slowest.turnaround_s * 1e3:.2f} ms turnaround in a "
             f"batch of {slowest.batch_size}"
         )
+        caches = stats.cache_stats()
+        merges = caches["scheduler_merges"]
+        print(
+            f"Memo effectiveness: {caches['programs']['size']} compiled "
+            f"programs; trace templates "
+            f"{caches['trace_templates']['hits']} hits / "
+            f"{caches['trace_templates']['misses']} misses; "
+            f"scheduler merges {merges['hits']} hits / "
+            f"{merges['misses']} misses"
+        )
 
 
 async def demonstrate_backpressure() -> None:

@@ -17,7 +17,11 @@ execution stack:
   executed on one warm controller (shared backend LUT gather arrays);
 * **per-request latency accounting** — every :class:`ServedResult` carries
   the wall-clock queue wait and execution time next to the modelled DRAM
-  latency of its program.
+  latency of its program;
+* **warm memo caches** — repeat requests hit the process-wide compiled
+  program, trace-template, and scheduler-makespan memos (hierarchical
+  requests re-merge nothing), and
+  :meth:`ServiceStats.cache_stats` reports their effectiveness.
 
 The service executes requests through either the plain controller or, when
 constructed with ``hierarchical=True``, the
@@ -94,6 +98,20 @@ class ServiceStats:
     def mean_batch_size(self) -> float:
         """Average number of requests executed per coalesced batch."""
         return self.served / self.batches if self.batches else 0.0
+
+    @staticmethod
+    def cache_stats() -> dict[str, dict]:
+        """Memo effectiveness of the execution stack serving the requests.
+
+        A snapshot of the process-wide caches (compiled programs, trace
+        templates, scheduler makespan memo, hierarchical schedules,
+        per-engine helpers, LUT gather arrays) — repeat requests for the
+        same program structure should show the hit counters climbing
+        while the miss counters stay put.
+        """
+        from repro.api.session import cache_stats
+
+        return cache_stats()
 
 
 @dataclass
@@ -391,6 +409,9 @@ class PlutoService:
     def _execute_batch(self, batch: "list[_PendingRequest]") -> None:
         self.stats.batches += 1
         self.stats.coalesced += len(batch) - 1
+        fusible = len(batch) > 1 and not self.hierarchical
+        if fusible and self._execute_batch_fused(batch):
+            return
         for request in batch:
             begin = time.monotonic()
             try:
@@ -422,6 +443,81 @@ class PlutoService:
             if not request.future.cancelled():
                 request.future.set_result(served)
 
+    def _execute_batch_fused(self, batch: "list[_PendingRequest]") -> bool:
+        """Run a coalesced batch in one fused controller pass.
+
+        The batch shares one program structure by construction, so the
+        per-request input sets stack into a ``(requests, elements)`` array
+        and execute as a single pass
+        (:meth:`~repro.controller.executor.PlutoController.execute_fused`)
+        — one gather per LUT query for the whole batch, with each
+        request's trace synthesized from the shared template.  Returns
+        ``False`` (leaving the batch untouched) when the backend cannot
+        batch or the inputs do not stack; the per-request loop then
+        surfaces any individual errors.
+        """
+        controller = self._controller_for(batch[0])
+        if not controller.backend.supports_batched:
+            return False
+        from repro.api.session import compile_cached
+
+        names = set(batch[0].inputs)
+        if any(set(request.inputs) != names for request in batch[1:]):
+            # Differing provided-input sets seed different registers; the
+            # per-request loop handles them individually.
+            return False
+        structure_key = batch[0].structure_key
+        if not isinstance(structure_key, tuple):
+            structure_key = None  # unhashable-structure sentinel: no memo
+        begin = time.monotonic()
+        try:
+            compiled = compile_cached(batch[0].calls)
+            stacked = {
+                name: np.stack([request.inputs[name] for request in batch])
+                for name in batch[0].inputs
+            }
+            results = controller.execute_fused(
+                compiled,
+                stacked,
+                banks=[0] * len(batch),
+                structure_key=structure_key,
+            )
+        except Exception:
+            return False
+        finish = time.monotonic()
+        # The pass ran once for everyone: attribute the wall-clock evenly.
+        execute_s = (finish - begin) / len(batch)
+        for request, result in zip(batch, results):
+            served = ServedResult(
+                request_id=request.request_id,
+                outputs=result.outputs,
+                latency_ns=result.latency_ns,
+                energy_nj=result.energy_nj,
+                queue_wait_s=begin - request.enqueued_at,
+                execute_s=execute_s,
+                batch_size=len(batch),
+                backend=result.backend,
+                result=result,
+            )
+            self.stats.served += 1
+            self.stats.total_queue_wait_s += served.queue_wait_s
+            self.stats.total_execute_s += served.execute_s
+            self.stats.total_latency_ns += served.latency_ns
+            if not request.future.cancelled():
+                request.future.set_result(served)
+        return True
+
+    def _controller_for(self, request: _PendingRequest):
+        """The warm :class:`PlutoController` for a request's backend."""
+        key = request.backend_key
+        controller = self._controllers.get(key)
+        if controller is None:
+            from repro.controller.executor import PlutoController
+
+            controller = PlutoController(self.engine, backend=request.backend)
+            self._controllers[key] = controller
+        return controller
+
     def _execute(self, request: _PendingRequest) -> "ExecutionResult":
         """Run one request on a warm executor for *its* backend.
 
@@ -445,12 +541,7 @@ class PlutoService:
             return dispatcher.execute(
                 request.calls, request.inputs, shards=self.shards
             )
-        controller = self._controllers.get(key)
-        if controller is None:
-            from repro.controller.executor import PlutoController
-
-            controller = PlutoController(self.engine, backend=request.backend)
-            self._controllers[key] = controller
+        controller = self._controller_for(request)
         return controller.execute(
             compile_cached(request.calls), dict(request.inputs)
         )

@@ -46,6 +46,7 @@ __all__ = [
     "program_structure_key",
     "clear_program_cache",
     "program_cache_size",
+    "cache_stats",
 ]
 
 
@@ -92,6 +93,34 @@ def clear_program_cache() -> None:
 def program_cache_size() -> int:
     """Number of distinct program structures currently cached."""
     return len(_PROGRAM_CACHE)
+
+
+def cache_stats() -> dict[str, dict]:
+    """Hit/miss statistics of every memo layer in the execution stack.
+
+    One snapshot covering the process-wide caches that make repeated and
+    sharded execution cheap: compiled programs (structure-keyed), trace
+    templates (fused dispatch), the scheduler makespan memo with its
+    exact-fast-merge/reference split, the hierarchical-schedule memo, the
+    cached pure per-engine helpers, and the LUT gather arrays.  Also
+    exposed as :meth:`PlutoSession.cache_stats` and through
+    :meth:`~repro.api.service.ServiceStats.cache_stats`, so the serving
+    layer can report memo effectiveness.
+    """
+    from repro.controller.dispatch import engine_helper_cache_stats
+    from repro.controller.executor import trace_template_stats
+    from repro.controller.hierarchy import hierarchy_cache_stats
+    from repro.core.lut import gather_cache_size
+    from repro.dram.analytic import merge_cache_stats
+
+    return {
+        "programs": {"size": program_cache_size()},
+        "trace_templates": trace_template_stats(),
+        "scheduler_merges": merge_cache_stats(),
+        "hierarchy_schedules": hierarchy_cache_stats(),
+        "engine_helpers": engine_helper_cache_stats(),
+        "lut_gather_arrays": {"size": gather_cache_size()},
+    }
 
 
 @dataclass
@@ -334,7 +363,9 @@ class PlutoSession:
         trace, identically for every backend.
 
         ``shards > 1`` partitions the element space across that many DRAM
-        banks and executes the shards bank-parallel: the outputs are
+        banks and executes the shards bank-parallel — in one fused batched
+        pass on batched-capable backends (the vectorized default), so the
+        multi-shard run costs roughly one shard's work: the outputs are
         bit-identical to the unsharded run, and ``latency_ns`` becomes the
         scheduler-derived makespan under cross-bank contention — tRRD
         always, tFAW per the engine's ``tfaw_fraction`` (0, the default,
@@ -447,6 +478,16 @@ class PlutoSession:
             hierarchical=hierarchical,
             shards=shards,
         )
+
+    @staticmethod
+    def cache_stats() -> dict[str, dict]:
+        """Hit/miss statistics of the process-wide execution caches.
+
+        See :func:`cache_stats` — compiled programs, trace templates, the
+        scheduler makespan memo, hierarchical schedules, per-engine
+        helpers, and LUT gather arrays.
+        """
+        return cache_stats()
 
     # ------------------------------------------------------------------ #
     # Helpers

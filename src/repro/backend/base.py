@@ -53,6 +53,13 @@ class ExecutionBackend(abc.ABC):
     #: Registry name ("functional", "vectorized", ...).
     name: ClassVar[str] = "abstract"
 
+    #: Whether the backend executes *stacked* programs: every functional
+    #: operation accepts ``(shards, elements)`` arrays, so a whole set of
+    #: equal-sized shards runs in one pass (``PlutoController.execute_fused``).
+    #: The shared bitwise/shift/move implementations below are already
+    #: shape-polymorphic; a backend opts in when its LUT-query path is too.
+    supports_batched: ClassVar[bool] = False
+
     def __init__(self) -> None:
         self._geometry: DRAMGeometry | None = None
         self._design: PlutoDesign | None = None
@@ -85,6 +92,19 @@ class ExecutionBackend(abc.ABC):
 
         Raises :class:`ExecutionError` if no LUT is bound to the register.
         """
+
+    def lut_query_batched(
+        self, register_index: int, indices: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate the bound LUT for a stacked ``(shards, n)`` index array.
+
+        Only available on backends with :attr:`supports_batched`; the
+        default raises so the dispatcher falls back to per-shard
+        execution on oracle backends.
+        """
+        raise ExecutionError(
+            f"backend {self.name!r} does not support batched LUT queries"
+        )
 
     # ------------------------------------------------------------------ #
     # Shared functional effects (identical in every backend)

@@ -6,17 +6,27 @@ from repro.controller.dispatch import (
     ShardedExecutionResult,
     ShardPlan,
     ShardPlanner,
+    engine_helper_cache_stats,
+    execute_shard_plans,
     merged_makespan_ns,
     sweep_act_interval_ns,
 )
-from repro.controller.executor import ExecutionResult, PlutoController
+from repro.controller.executor import (
+    ExecutionResult,
+    PlutoController,
+    TraceTemplate,
+    clear_trace_templates,
+    trace_template_stats,
+)
 from repro.controller.hierarchy import (
     HierarchicalDispatcher,
     HierarchicalExecutionResult,
     HierarchyPlanner,
     HierarchyShard,
     bus_occupancy_ns,
+    clear_hierarchy_cache,
     hierarchical_makespan_ns,
+    hierarchy_cache_stats,
     interleaved_bank_order,
 )
 from repro.controller.rom import CommandRom
@@ -27,11 +37,16 @@ __all__ = [
     "SubarrayAllocation",
     "ExecutionResult",
     "PlutoController",
+    "TraceTemplate",
+    "trace_template_stats",
+    "clear_trace_templates",
     "CommandRom",
     "ParallelDispatcher",
     "ShardedExecutionResult",
     "ShardPlan",
     "ShardPlanner",
+    "execute_shard_plans",
+    "engine_helper_cache_stats",
     "merged_makespan_ns",
     "sweep_act_interval_ns",
     "HierarchicalDispatcher",
@@ -40,5 +55,7 @@ __all__ = [
     "HierarchyShard",
     "bus_occupancy_ns",
     "hierarchical_makespan_ns",
+    "hierarchy_cache_stats",
+    "clear_hierarchy_cache",
     "interleaved_bank_order",
 ]

@@ -10,15 +10,19 @@ module adds that execution mode on top of the existing controller:
   contiguous shards and rewrites the recorded API calls so each shard is
   a complete, smaller program over its slice (equal-sized shards share
   one compiled program through the structure-keyed compile cache).
-* :class:`ParallelDispatcher` executes every shard through the ordinary
-  :class:`~repro.controller.executor.PlutoController` — and therefore
-  through whichever :class:`~repro.backend.base.ExecutionBackend` the
-  caller selected — placing shard *i* in bank *i* so the per-shard
-  command traces carry distinct bank ids.
-* :func:`merged_makespan_ns` merges the per-shard command streams
-  through the timing-aware :class:`~repro.dram.scheduler.CommandScheduler`,
-  so the aggregate latency is a *makespan* with cross-bank tRRD/tFAW
-  contention enforced, not a naive per-shard sum.
+* :class:`ParallelDispatcher` executes the shards through the
+  :class:`~repro.controller.executor.PlutoController` — in one *fused*
+  batched pass over a ``(shards, slice)`` view of the inputs when the
+  selected :class:`~repro.backend.base.ExecutionBackend` supports it
+  (the vectorized default), or shard by shard on the functional oracle —
+  placing shard *i* in bank *i* so the per-shard command traces carry
+  distinct bank ids.
+* :func:`merged_makespan_ns` merges the per-shard command streams with
+  the semantics of the timing-aware
+  :class:`~repro.dram.scheduler.CommandScheduler`, memoized on the
+  streams' structure (:mod:`repro.dram.analytic`), so the aggregate
+  latency is a *makespan* with cross-bank tRRD/tFAW contention enforced,
+  not a naive per-shard sum.
 
 Functional outputs are bit-identical to unsharded execution by
 construction: every shard runs the same lowering over a disjoint slice of
@@ -28,6 +32,7 @@ the same inputs, and the dispatcher concatenates the slices in order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -37,6 +42,7 @@ from repro.backend.base import ExecutionBackend
 from repro.controller.executor import ExecutionResult, PlutoController
 from repro.core.designs import PlutoDesign
 from repro.core.engine import PlutoConfig, PlutoEngine
+from repro.dram.analytic import memoized_merge_makespan_ns
 from repro.dram.commands import Command, CommandTrace
 from repro.dram.scheduler import CommandScheduler
 from repro.errors import ConfigurationError, ExecutionError
@@ -46,11 +52,26 @@ __all__ = [
     "ShardPlanner",
     "ShardedExecutionResult",
     "ParallelDispatcher",
+    "execute_shard_plans",
     "sweep_act_interval_ns",
     "sweep_tail_ns",
     "sweep_acts_per_row",
     "merged_makespan_ns",
+    "rank_scheduler",
+    "rank_scheduler_key",
+    "engine_helper_cache_stats",
 ]
+
+
+@lru_cache(maxsize=None)
+def _sweep_act_interval(
+    design: PlutoDesign, t_rcd: float, t_rp: float, lisa_hop_ns: float
+) -> float:
+    if design is PlutoDesign.GSA:
+        return lisa_hop_ns + t_rcd
+    if design is PlutoDesign.GMC:
+        return t_rcd
+    return t_rcd + t_rp
 
 
 def sweep_act_interval_ns(engine: PlutoEngine) -> float:
@@ -61,14 +82,21 @@ def sweep_act_interval_ns(engine: PlutoEngine) -> float:
     pLUTo-GMC opens rows back to back (tRCD per row, one trailing
     precharge), and pLUTo-GSA additionally streams the LUT row back in
     through a LISA hop before each activation (destructive reads).
+    Cached on the (design, timing) values the result depends on.
     """
-    timing = engine.timing
-    design = engine.config.design
-    if design is PlutoDesign.GSA:
-        return engine.cost_model.lisa_hop_latency_ns + timing.t_rcd
-    if design is PlutoDesign.GMC:
-        return timing.t_rcd
-    return timing.t_rcd + timing.t_rp
+    return _sweep_act_interval(
+        engine.config.design,
+        engine.timing.t_rcd,
+        engine.timing.t_rp,
+        engine.cost_model.lisa_hop_latency_ns,
+    )
+
+
+@lru_cache(maxsize=None)
+def _sweep_tail(design: PlutoDesign, t_rp: float) -> float:
+    if design is PlutoDesign.BSA:
+        return 0.0
+    return t_rp
 
 
 def sweep_tail_ns(engine: PlutoEngine) -> float:
@@ -78,34 +106,48 @@ def sweep_tail_ns(engine: PlutoEngine) -> float:
     Table 1 query latencies); BSA's per-row spacing already contains the
     precharge, so its sweeps carry no tail.
     """
-    if engine.config.design is PlutoDesign.BSA:
-        return 0.0
-    return engine.timing.t_rp
+    return _sweep_tail(engine.config.design, engine.timing.t_rp)
+
+
+@lru_cache(maxsize=None)
+def _sweep_acts(design: PlutoDesign) -> int:
+    return 2 if design is PlutoDesign.GSA else 1
 
 
 def sweep_acts_per_row(engine: PlutoEngine) -> int:
     """Row activations per swept LUT entry (2 for GSA's reload+sweep)."""
-    return 2 if engine.config.design is PlutoDesign.GSA else 1
+    return _sweep_acts(engine.config.design)
 
 
-def merged_makespan_ns(
-    command_streams: Sequence[Sequence[Command]], engine: PlutoEngine
-) -> float:
-    """Makespan of concurrent per-bank command streams under rank timing.
+def engine_helper_cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss counters of the cached pure per-engine helpers."""
+    from repro.controller.hierarchy import _interleaved_bank_order
 
-    The streams are merged at activation granularity through
-    :meth:`CommandScheduler.merge_streams`, configured with the engine's
-    bank count, its design's sweep spacing, and its configuration's tFAW
-    throttle (``tfaw_fraction``, matching the Figure 13 convention where
-    0 means unthrottled).  Returns the time at which the last command
-    completes.
-    """
-    streams = [stream for stream in command_streams if len(stream)]
-    if not streams:
-        return 0.0
-    timing = engine.timing.with_tfaw_fraction(engine.config.tfaw_fraction)
-    scheduler = CommandScheduler(
-        timing,
+    stats: dict[str, dict[str, int]] = {}
+    for name, cached in (
+        ("sweep_act_interval_ns", _sweep_act_interval),
+        ("sweep_tail_ns", _sweep_tail),
+        ("sweep_acts_per_row", _sweep_acts),
+        ("interleaved_bank_order", _interleaved_bank_order),
+    ):
+        info = cached.cache_info()
+        stats[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "size": info.currsize,
+        }
+    return stats
+
+
+@lru_cache(maxsize=None)
+def _throttled_timing(timing, tfaw_fraction: float):
+    return timing.with_tfaw_fraction(tfaw_fraction)
+
+
+def rank_scheduler(engine: PlutoEngine) -> CommandScheduler:
+    """A fresh per-rank scheduler configured for the engine's design."""
+    return CommandScheduler(
+        _throttled_timing(engine.timing, engine.config.tfaw_fraction),
         num_banks=engine.geometry.banks,
         banks_per_group=engine.geometry.banks_per_group,
         sweep_act_interval_ns=sweep_act_interval_ns(engine),
@@ -113,7 +155,48 @@ def merged_makespan_ns(
         sweep_acts_per_row=sweep_acts_per_row(engine),
         lisa_hop_ns=engine.cost_model.lisa_hop_latency_ns,
     )
-    return scheduler.merge_streams(streams)
+
+
+def rank_scheduler_key(engine: PlutoEngine) -> tuple:
+    """The :func:`rank_scheduler` configuration as a hashable cache key.
+
+    Mirrors :func:`repro.dram.analytic.scheduler_signature` without
+    constructing a scheduler, so memo lookups on warm caches cost a few
+    attribute reads.
+    """
+    return (
+        _throttled_timing(engine.timing, engine.config.tfaw_fraction),
+        engine.geometry.banks,
+        engine.geometry.banks_per_group,
+        sweep_act_interval_ns(engine),
+        sweep_tail_ns(engine),
+        sweep_acts_per_row(engine),
+        engine.cost_model.lisa_hop_latency_ns,
+    )
+
+
+def merged_makespan_ns(
+    command_streams: Sequence[Sequence[Command]], engine: PlutoEngine
+) -> float:
+    """Makespan of concurrent per-bank command streams under rank timing.
+
+    The streams are merged at activation granularity with the semantics
+    of :meth:`CommandScheduler.merge_streams`, configured with the
+    engine's bank count, its design's sweep spacing, and its
+    configuration's tFAW throttle (``tfaw_fraction``, matching the
+    Figure 13 convention where 0 means unthrottled).  Returns the time at
+    which the last command completes.  Results are memoized on the
+    streams' structural signature (:mod:`repro.dram.analytic`), so
+    repeated identical shard plans merge once.
+    """
+    streams = [stream for stream in command_streams if len(stream)]
+    if not streams:
+        return 0.0
+    return memoized_merge_makespan_ns(
+        streams,
+        lambda: rank_scheduler(engine),
+        config_key=rank_scheduler_key(engine),
+    )
 
 
 @dataclass(frozen=True)
@@ -189,10 +272,20 @@ class ShardPlanner:
             )
         slices: list[tuple[int, int, tuple[ApiCall, ...]]] = []
         base, remainder = divmod(size, shards)
+        # Balanced shards take at most two distinct sizes, and the
+        # rewritten call tuples depend only on the size — share them so
+        # planning allocates O(distinct sizes) replica programs instead
+        # of O(shards x calls) vectors.
+        resized: dict[int, tuple[ApiCall, ...]] = {}
         start = 0
         for index in range(shards):
             stop = start + base + (1 if index < remainder else 0)
-            slices.append((start, stop, cls._resize_calls(calls, stop - start)))
+            shard_size = stop - start
+            shard_calls = resized.get(shard_size)
+            if shard_calls is None:
+                shard_calls = cls._resize_calls(calls, shard_size)
+                resized[shard_size] = shard_calls
+            slices.append((start, stop, shard_calls))
             start = stop
         return slices
 
@@ -215,6 +308,11 @@ class ShardPlanner:
     @staticmethod
     def _resize_calls(calls: Sequence[ApiCall], size: int) -> tuple[ApiCall, ...]:
         """Rewrite every call over ``size``-element replicas of its vectors."""
+        sample = calls[0].output if not calls[0].inputs else calls[0].inputs[0]
+        if sample.size == size:
+            # The slice covers the whole element space; the original
+            # calls (and their vectors) are already correct.
+            return tuple(calls)
         replicas: dict[str, PlutoVector] = {}
 
         def _replica(vector: PlutoVector) -> PlutoVector:
@@ -288,17 +386,89 @@ class ShardedExecutionResult(ExecutionResult):
         return self.serial_latency_ns / self.makespan_ns
 
 
+def execute_shard_plans(
+    controller: PlutoController,
+    plans: Sequence,
+    arrays: Mapping[str, np.ndarray],
+    *,
+    fused: bool | None = None,
+) -> list[ExecutionResult]:
+    """Execute shard plans, fused in one batched pass when possible.
+
+    ``plans`` is any sequence of plan objects with ``index`` / ``bank`` /
+    ``start`` / ``stop`` / ``calls`` attributes (both the bank-parallel
+    and hierarchical planners produce them).  With a batched-capable
+    backend (``fused=None`` auto-detects; ``False`` forces the per-shard
+    oracle loop) the equal-sized shards are grouped, their input slices
+    stacked into ``(shards, slice)`` views, and each group executes in a
+    single controller pass — one NumPy gather per LUT query instead of
+    ``shards`` trips through the controller.  Outputs, traces, and
+    per-shard results are identical to the per-shard loop.
+    """
+    from repro.api.session import compile_cached, program_structure_key
+
+    use_fused = controller.backend.supports_batched if fused is None else fused
+    if use_fused and not controller.backend.supports_batched:
+        raise ConfigurationError(
+            f"backend {controller.backend.name!r} cannot run fused; "
+            "pass fused=False (or None) to use the per-shard path"
+        )
+    if not use_fused:
+        results = []
+        for plan in plans:
+            compiled = compile_cached(list(plan.calls))
+            shard_inputs = {
+                name: data[plan.start : plan.stop] for name, data in arrays.items()
+            }
+            results.append(
+                controller.execute(compiled, shard_inputs, bank=plan.bank)
+            )
+        return results
+
+    results: list[ExecutionResult | None] = [None] * len(plans)
+    groups: dict[int, list] = {}
+    for plan in plans:
+        groups.setdefault(plan.stop - plan.start, []).append(plan)
+    for group in groups.values():
+        calls = list(group[0].calls)
+        compiled = compile_cached(calls)
+        try:
+            structure_key = program_structure_key(calls)
+        except TypeError:
+            structure_key = None
+        stacked = {
+            name: np.stack([data[plan.start : plan.stop] for plan in group])
+            for name, data in arrays.items()
+        }
+        banks = [plan.bank for plan in group]
+        fused_results = controller.execute_fused(
+            compiled, stacked, banks=banks, structure_key=structure_key
+        )
+        for plan, result in zip(group, fused_results):
+            results[plan.index] = result
+    return results  # type: ignore[return-value]
+
+
 class ParallelDispatcher:
-    """Executes shard plans through the controller and merges the results."""
+    """Executes shard plans through the controller and merges the results.
+
+    ``fused`` selects the execution strategy: ``None`` (default) runs the
+    shards in one batched pass when the backend supports it, ``False``
+    forces the per-shard loop (the bit-exactness oracle path), ``True``
+    requires a batched backend.
+    """
 
     def __init__(
         self,
         engine: PlutoEngine | None = None,
         backend: str | ExecutionBackend = "vectorized",
+        *,
+        fused: bool | None = None,
     ) -> None:
         self.engine = engine if engine is not None else PlutoEngine(PlutoConfig())
         self.controller = PlutoController(self.engine, backend=backend)
         self.planner = ShardPlanner(num_banks=self.engine.geometry.banks)
+        self.fused = fused
 
     def execute(
         self,
@@ -308,20 +478,12 @@ class ParallelDispatcher:
         shards: int,
     ) -> ShardedExecutionResult:
         """Run ``calls`` bank-parallel over ``shards`` slices of ``inputs``."""
-        from repro.api.session import compile_cached
-
         plans = self.planner.plan(calls, shards)
         arrays = {name: np.asarray(data) for name, data in inputs.items()}
         self._check_inputs(calls, arrays)
-        shard_results: list[ExecutionResult] = []
-        for plan in plans:
-            compiled = compile_cached(list(plan.calls))
-            shard_inputs = {
-                name: data[plan.start : plan.stop] for name, data in arrays.items()
-            }
-            shard_results.append(
-                self.controller.execute(compiled, shard_inputs, bank=plan.bank)
-            )
+        shard_results = execute_shard_plans(
+            self.controller, plans, arrays, fused=self.fused
+        )
         return self._merge(plans, shard_results)
 
     # ------------------------------------------------------------------ #

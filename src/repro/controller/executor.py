@@ -18,7 +18,8 @@ command trace is identical whichever backend performs the arithmetic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -29,7 +30,7 @@ from repro.controller.rom import CommandRom
 from repro.core.analytical import PlutoCostModel
 from repro.core.designs import PlutoDesign
 from repro.core.engine import PlutoConfig, PlutoEngine
-from repro.dram.commands import CommandTrace, CommandType
+from repro.dram.commands import Command, CommandTrace, CommandType
 from repro.errors import ExecutionError
 from repro.isa.instructions import (
     PlutoBitShift,
@@ -41,8 +42,58 @@ from repro.isa.instructions import (
     PlutoSubarrayAlloc,
 )
 from repro.utils.bitops import mask_of
+from repro.utils.memo import BoundedMemo
 
-__all__ = ["ExecutionResult", "PlutoController"]
+__all__ = [
+    "ExecutionResult",
+    "PlutoController",
+    "TraceTemplate",
+    "trace_template_stats",
+    "clear_trace_templates",
+]
+
+
+@dataclass(frozen=True)
+class TraceTemplate:
+    """The bank-independent command trace of one compiled program.
+
+    Cost accounting depends only on program structure, geometry, and
+    design — the bank id merely stamps each command — so the trace of a
+    program is generated once (commands recorded against bank 0) and
+    *synthesized* for any placement by rewriting the bank ids.  The shard
+    dispatchers use this to stop re-executing the controller ``shards``
+    times just to regenerate identical traces.
+    """
+
+    commands: tuple[Command, ...]
+    total_latency_ns: float
+    total_energy_nj: float
+    lut_queries: int
+    instructions_executed: int
+
+    def realize(self, timing, energy, *, bank: int) -> CommandTrace:
+        """A concrete trace of this template placed in ``bank``."""
+        return CommandTrace(
+            timing=timing,
+            energy=energy,
+            commands=[replace(command, bank=bank) for command in self.commands],
+            total_latency_ns=self.total_latency_ns,
+            total_energy_nj=self.total_energy_nj,
+        )
+
+
+#: (program structure key, engine config) -> TraceTemplate.
+_TEMPLATE_MEMO: BoundedMemo[TraceTemplate] = BoundedMemo(1024)
+
+
+def trace_template_stats() -> dict[str, int]:
+    """Hit/miss counters and size of the trace-template cache."""
+    return _TEMPLATE_MEMO.stats()
+
+
+def clear_trace_templates() -> None:
+    """Drop every cached trace template and reset the counters."""
+    _TEMPLATE_MEMO.clear()
 
 
 @dataclass
@@ -139,24 +190,13 @@ class PlutoController:
                     )
                 continue
             if isinstance(instruction, PlutoSubarrayAlloc):
-                allocation = table.bind_subarray(instruction.destination)
-                lut = compiled.lut_bindings[instruction.destination.index]
+                allocation = self._account_lut_load(
+                    instruction, compiled, table, trace
+                )
                 backend.load_lut(
                     instruction.destination.index,
-                    lut,
+                    compiled.lut_bindings[instruction.destination.index],
                     subarray_index=allocation.subarray,
-                )
-                # Loading the LUT costs one LISA move per LUT row; the
-                # command carries the row count so the scheduler charges
-                # every linked activation against the tFAW window.
-                trace.add(
-                    CommandType.LISA_RBM,
-                    bank=allocation.bank,
-                    subarray=allocation.subarray,
-                    rows=lut.num_entries,
-                    meta=f"load {lut.name}",
-                    latency_ns=cost_model.lut_load_latency_ns(lut.num_entries),
-                    energy_nj=cost_model.lut_load_energy_nj(lut.num_entries),
                 )
                 continue
 
@@ -196,8 +236,230 @@ class PlutoController:
         )
 
     # ------------------------------------------------------------------ #
+    # Fused (batched) execution
+    # ------------------------------------------------------------------ #
+    def trace_template(
+        self,
+        compiled: CompiledProgram,
+        *,
+        structure_key: tuple | None = None,
+    ) -> TraceTemplate:
+        """The program's bank-independent trace, cached per structure.
+
+        ``structure_key`` is the program-structure key the compiled
+        program was cached under (``program_structure_key``); pass it to
+        memoize the template across executions.  Without a key the
+        template is rebuilt each call.
+        """
+        cache_key: tuple | None = None
+        if structure_key is not None:
+            try:
+                cache_key = (structure_key, self.engine.config)
+                template = _TEMPLATE_MEMO.get(cache_key)
+            except TypeError:
+                cache_key = None
+                template = None
+            if template is not None:
+                return template
+        if cache_key is None:
+            _TEMPLATE_MEMO.note_uncached()
+        template = self._build_template(compiled)
+        if cache_key is not None:
+            _TEMPLATE_MEMO.put(cache_key, template)
+        return template
+
+    def _build_template(self, compiled: CompiledProgram) -> TraceTemplate:
+        """Run the accounting half of :meth:`execute` against bank 0."""
+        table = AllocationTable(self.engine.geometry, bank=0)
+        trace = CommandTrace(timing=self.engine.timing, energy=self.engine.energy)
+        cost_model = self.engine.cost_model
+        design = self.engine.config.design
+        lut_queries = 0
+        executed = 0
+        for instruction in compiled.program:
+            executed += 1
+            if isinstance(instruction, PlutoRowAlloc):
+                table.bind_row(instruction.destination)
+                continue
+            if isinstance(instruction, PlutoSubarrayAlloc):
+                self._account_lut_load(instruction, compiled, table, trace)
+                continue
+            self._account(instruction, table, trace, cost_model, design)
+            if isinstance(instruction, PlutoOp):
+                lut_queries += 1
+        return TraceTemplate(
+            commands=tuple(trace.commands),
+            total_latency_ns=trace.total_latency_ns,
+            total_energy_nj=trace.total_energy_nj,
+            lut_queries=lut_queries,
+            instructions_executed=executed,
+        )
+
+    def execute_fused(
+        self,
+        compiled: CompiledProgram,
+        inputs: dict[str, np.ndarray],
+        *,
+        banks: Sequence[int],
+        structure_key: tuple | None = None,
+    ) -> list[ExecutionResult]:
+        """Execute one program over many equal shards in a single pass.
+
+        ``inputs`` maps each vector name to a stacked ``(shards, size)``
+        array whose row *i* is shard *i*'s slice; ``banks[i]`` is the bank
+        shard *i* is placed in.  The functional effects run **once** over
+        the stacked arrays (one NumPy gather per LUT query instead of one
+        per shard), and the per-shard command traces are synthesized from
+        the cached :class:`TraceTemplate` by rewriting bank ids.  Outputs
+        are bit-identical to executing each shard through
+        :meth:`execute` — the backend operations are element-wise, so
+        stacking adds an axis without changing any value.
+
+        Requires a backend with ``supports_batched`` (the vectorized
+        backend); the functional backend keeps the per-shard loop as the
+        bit-exactness oracle.
+        """
+        backend = self.backend
+        if not backend.supports_batched:
+            raise ExecutionError(
+                f"backend {backend.name!r} does not support fused batched "
+                "execution; dispatch shards through execute() instead"
+            )
+        shards = len(banks)
+        if shards == 0:
+            return []
+        geometry = self.engine.geometry
+        for bank in banks:
+            if not 0 <= bank < geometry.banks:
+                raise ExecutionError(
+                    f"bank {bank} outside the module's range [0, {geometry.banks})"
+                )
+        self._check_stacked_inputs(compiled, inputs, shards)
+        template = self.trace_template(compiled, structure_key=structure_key)
+        backend.begin_program(geometry, self.engine.config.design)
+
+        values: dict[int, np.ndarray] = {}
+        register_by_vector = compiled.vector_bindings
+        for name, data in inputs.items():
+            register = register_by_vector[name]
+            values[register.index] = np.asarray(data, dtype=np.uint64)
+
+        for instruction in compiled.program:
+            if isinstance(instruction, PlutoRowAlloc):
+                if instruction.destination.index not in values:
+                    values[instruction.destination.index] = np.zeros(
+                        (shards, instruction.size_elements), dtype=np.uint64
+                    )
+            elif isinstance(instruction, PlutoSubarrayAlloc):
+                backend.load_lut(
+                    instruction.destination.index,
+                    compiled.lut_bindings[instruction.destination.index],
+                )
+            elif isinstance(instruction, PlutoOp):
+                self._execute_lut_query_batched(instruction, compiled, values)
+            elif isinstance(instruction, PlutoBitwise):
+                self._execute_bitwise(instruction, values)
+            elif isinstance(instruction, (PlutoBitShift, PlutoByteShift)):
+                self._execute_shift(instruction, values)
+            elif isinstance(instruction, PlutoMove):
+                self._execute_move(instruction, values)
+            else:
+                raise ExecutionError(
+                    f"unsupported instruction {type(instruction).__name__}"
+                )
+
+        results: list[ExecutionResult] = []
+        for shard, bank in enumerate(banks):
+            outputs = {
+                vector.name: values[register_by_vector[vector.name].index][
+                    shard
+                ].copy()
+                for vector in compiled.outputs
+            }
+            registers = {
+                name: values[register.index][shard].copy()
+                for name, register in register_by_vector.items()
+                if register.index in values
+            }
+            results.append(
+                ExecutionResult(
+                    outputs=outputs,
+                    trace=template.realize(
+                        self.engine.timing, self.engine.energy, bank=bank
+                    ),
+                    lut_queries=template.lut_queries,
+                    instructions_executed=template.instructions_executed,
+                    registers=registers,
+                    backend=backend.name,
+                )
+            )
+        return results
+
+    def _execute_lut_query_batched(
+        self, instruction: PlutoOp, compiled: CompiledProgram, values
+    ) -> None:
+        source = values.get(instruction.source.index)
+        if source is None:
+            raise ExecutionError(
+                f"{instruction.render()}: source register has no data"
+            )
+        lut = compiled.lut_bindings[instruction.lut_subarray.index]
+        result = self.backend.lut_query_batched(
+            instruction.lut_subarray.index, source
+        )
+        values[instruction.destination.index] = result & np.uint64(
+            mask_of(min(64, lut.element_bits))
+        )
+
+    @staticmethod
+    def _check_stacked_inputs(
+        compiled: CompiledProgram, inputs: dict[str, np.ndarray], shards: int
+    ) -> None:
+        """The stacked-array analogue of :meth:`_check_inputs`."""
+        for vector in compiled.external_inputs:
+            if vector.name not in inputs:
+                raise ExecutionError(
+                    f"missing input data for external vector {vector.name!r}"
+                )
+            data = np.asarray(inputs[vector.name])
+            if data.ndim != 2 or data.shape != (shards, vector.size):
+                raise ExecutionError(
+                    f"fused input {vector.name!r} has shape {data.shape}, "
+                    f"expected ({shards}, {vector.size})"
+                )
+            if data.size and int(data.max()) > mask_of(min(64, vector.bit_width)):
+                raise ExecutionError(
+                    f"input {vector.name!r} contains values wider than "
+                    f"{vector.bit_width} bits"
+                )
+        for name in inputs:
+            if name not in compiled.vector_bindings:
+                raise ExecutionError(f"input {name!r} is not a vector of this program")
+
+    # ------------------------------------------------------------------ #
     # Cost accounting
     # ------------------------------------------------------------------ #
+    def _account_lut_load(self, instruction, compiled, table, trace):
+        """Account one LUT load (``pluto_subarray_alloc``); returns the allocation.
+
+        Loading the LUT costs one LISA move per LUT row; the command
+        carries the row count so the scheduler charges every linked
+        activation against the tFAW window.
+        """
+        allocation = table.bind_subarray(instruction.destination)
+        lut = compiled.lut_bindings[instruction.destination.index]
+        cost_model = self.engine.cost_model
+        trace.add(
+            CommandType.LISA_RBM,
+            bank=allocation.bank,
+            subarray=allocation.subarray,
+            rows=lut.num_entries,
+            meta=f"load {lut.name}",
+            latency_ns=cost_model.lut_load_latency_ns(lut.num_entries),
+            energy_nj=cost_model.lut_load_energy_nj(lut.num_entries),
+        )
+        return allocation
+
     def _account(self, instruction, table, trace, cost_model, design) -> None:
         if isinstance(instruction, PlutoOp):
             allocation = table.bind_subarray(instruction.lut_subarray)

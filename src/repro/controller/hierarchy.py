@@ -18,7 +18,11 @@ adds the two interface levels above the rank with level-aware timing:
   spacing, which :meth:`~repro.dram.scheduler.CommandScheduler.merge_streams`
   enforces; the planner round-robins consecutive shards across bank
   groups so neighbouring shards pay the short tCCD_S, not tCCD_L.
-* **Banks** within a rank keep PR 2's event-driven tRRD/tFAW merge.
+* **Banks** within a rank keep PR 2's tRRD/tFAW merge semantics, served
+  through the memoized exact fast merge of :mod:`repro.dram.analytic`
+  (whole hierarchical schedules are additionally memoized on the
+  streams' structural signature, so per-level decompositions and repeat
+  requests re-merge nothing).
 
 :class:`HierarchyPlanner` places balanced element slices channel-first
 (maximum parallelism per shard added); :class:`HierarchicalDispatcher`
@@ -35,6 +39,7 @@ the same lowering over a disjoint slice of the same inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -44,16 +49,18 @@ from repro.backend.base import ExecutionBackend
 from repro.controller.dispatch import (
     ParallelDispatcher,
     ShardPlanner,
-    sweep_act_interval_ns,
-    sweep_acts_per_row,
-    sweep_tail_ns,
+    execute_shard_plans,
+    rank_scheduler,
+    rank_scheduler_key,
 )
 from repro.controller.executor import ExecutionResult, PlutoController
 from repro.core.engine import PlutoConfig, PlutoEngine
+from repro.dram.analytic import memoized_merge_makespan_ns, streams_signature
 from repro.dram.commands import Command, CommandTrace, CommandType
 from repro.dram.geometry import DRAMGeometry
-from repro.dram.scheduler import CommandScheduler, activation_count
+from repro.dram.scheduler import activation_count
 from repro.errors import ConfigurationError
+from repro.utils.memo import BoundedMemo
 
 __all__ = [
     "HierarchyShard",
@@ -63,6 +70,8 @@ __all__ = [
     "bus_occupancy_ns",
     "hierarchical_makespan_ns",
     "interleaved_bank_order",
+    "hierarchy_cache_stats",
+    "clear_hierarchy_cache",
 ]
 
 
@@ -88,18 +97,21 @@ def bus_occupancy_ns(streams: Sequence[Sequence[Command]], engine: PlutoEngine) 
     return total
 
 
-def _rank_scheduler(engine: PlutoEngine) -> CommandScheduler:
-    """A fresh per-rank scheduler configured for the engine's design."""
-    timing = engine.timing.with_tfaw_fraction(engine.config.tfaw_fraction)
-    return CommandScheduler(
-        timing,
-        num_banks=engine.geometry.banks,
-        banks_per_group=engine.geometry.banks_per_group,
-        sweep_act_interval_ns=sweep_act_interval_ns(engine),
-        sweep_tail_ns=sweep_tail_ns(engine),
-        sweep_acts_per_row=sweep_acts_per_row(engine),
-        lisa_hop_ns=engine.cost_model.lisa_hop_latency_ns,
-    )
+#: (streams signature, scheduler key, channels, ranks) -> (makespan,
+#: rank makespans, channel makespans).  The per-rank merges additionally
+#: share the module-wide makespan memo, so collapsing levels re-merges
+#: nothing.
+_HIERARCHY_MEMO: BoundedMemo[tuple[float, dict, dict]] = BoundedMemo(1024)
+
+
+def hierarchy_cache_stats() -> dict[str, int]:
+    """Hit/miss counters and size of the hierarchical-schedule memo."""
+    return _HIERARCHY_MEMO.stats()
+
+
+def clear_hierarchy_cache() -> None:
+    """Drop every memoized hierarchical schedule and reset the counters."""
+    _HIERARCHY_MEMO.clear()
 
 
 def _schedule_hierarchy(
@@ -115,14 +127,29 @@ def _schedule_hierarchy(
     ``rank_makespans`` maps ``(channel, rank)`` to that rank's merged
     makespan (before the channel-bus bound) and ``channel_makespans``
     maps each populated channel to ``max(slowest rank, bus occupancy)``.
+    Results are memoized on the streams' structural signature plus the
+    hierarchy shape, with the per-rank merges sharing the module-wide
+    makespan memo.
     """
     if channels <= 0 or ranks <= 0:
         raise ConfigurationError("channel and rank counts must be positive")
     streams = [stream for stream in streams if len(stream)]
+    if not streams:
+        return 0.0, {}, {}
+    config_key = rank_scheduler_key(engine)
+    try:
+        key = (streams_signature(streams), config_key, channels, ranks)
+    except TypeError:
+        key = None
+        _HIERARCHY_MEMO.note_uncached()
+    if key is not None:
+        cached = _HIERARCHY_MEMO.get(key)
+        if cached is not None:
+            makespan, rank_makespans, channel_makespans = cached
+            return makespan, dict(rank_makespans), dict(channel_makespans)
+
     rank_makespans: dict[tuple[int, int], float] = {}
     channel_makespans: dict[int, float] = {}
-    if not streams:
-        return 0.0, rank_makespans, channel_makespans
     bank_order = interleaved_bank_order(engine.geometry)
     by_rank: dict[tuple[int, int], list[list[Command]]] = {}
     for index, stream in enumerate(streams):
@@ -139,13 +166,21 @@ def _schedule_hierarchy(
             rank_streams = by_rank.get((channel, rank))
             if not rank_streams:
                 continue
-            rank_makespan = _rank_scheduler(engine).merge_streams(rank_streams)
+            rank_makespan = memoized_merge_makespan_ns(
+                rank_streams,
+                lambda: rank_scheduler(engine),
+                config_key=config_key,
+            )
             rank_makespans[(channel, rank)] = rank_makespan
             slowest_rank = max(slowest_rank, rank_makespan)
             channel_bus_ns += bus_occupancy_ns(rank_streams, engine)
         if slowest_rank:
             channel_makespans[channel] = max(slowest_rank, channel_bus_ns)
     makespan = max(channel_makespans.values(), default=0.0)
+    if key is not None:
+        _HIERARCHY_MEMO.put(
+            key, (makespan, dict(rank_makespans), dict(channel_makespans))
+        )
     return makespan, rank_makespans, channel_makespans
 
 
@@ -172,18 +207,24 @@ def hierarchical_makespan_ns(
     return makespan
 
 
-def interleaved_bank_order(geometry: DRAMGeometry) -> list[int]:
+@lru_cache(maxsize=None)
+def _interleaved_bank_order(geometry: DRAMGeometry) -> tuple[int, ...]:
+    return tuple(
+        group * geometry.banks_per_group + slot
+        for slot in range(geometry.banks_per_group)
+        for group in range(geometry.bank_groups)
+    )
+
+
+def interleaved_bank_order(geometry: DRAMGeometry) -> tuple[int, ...]:
     """Rank-local bank ids ordered to round-robin across bank groups.
 
     Consecutive shards land in different bank groups, so back-to-back
     column traffic pays tCCD_S instead of tCCD_L and activation pressure
-    spreads across the rank's group-level circuitry.
+    spreads across the rank's group-level circuitry.  Cached per
+    geometry (geometries are frozen); returns an immutable tuple.
     """
-    return [
-        group * geometry.banks_per_group + slot
-        for slot in range(geometry.banks_per_group)
-        for group in range(geometry.bank_groups)
-    ]
+    return _interleaved_bank_order(geometry)
 
 
 @dataclass(frozen=True)
@@ -337,16 +378,25 @@ class HierarchicalExecutionResult(ExecutionResult):
 
 
 class HierarchicalDispatcher:
-    """Executes hierarchy plans through the controller and merges results."""
+    """Executes hierarchy plans through the controller and merges results.
+
+    ``fused`` selects the execution strategy exactly as in
+    :class:`~repro.controller.dispatch.ParallelDispatcher`: ``None``
+    (default) batches the shards into one fused pass on batched-capable
+    backends, ``False`` forces the per-shard oracle loop.
+    """
 
     def __init__(
         self,
         engine: PlutoEngine | None = None,
         backend: str | ExecutionBackend = "vectorized",
+        *,
+        fused: bool | None = None,
     ) -> None:
         self.engine = engine if engine is not None else PlutoEngine(PlutoConfig())
         self.controller = PlutoController(self.engine, backend=backend)
         self.planner = HierarchyPlanner(self.engine.geometry)
+        self.fused = fused
 
     def execute(
         self,
@@ -356,20 +406,12 @@ class HierarchicalDispatcher:
         shards: int | None = None,
     ) -> HierarchicalExecutionResult:
         """Run ``calls`` over ``inputs`` spread across the whole hierarchy."""
-        from repro.api.session import compile_cached
-
         plans = self.planner.plan(calls, shards)
         arrays = {name: np.asarray(data) for name, data in inputs.items()}
         ParallelDispatcher._check_inputs(calls, arrays)
-        shard_results: list[ExecutionResult] = []
-        for plan in plans:
-            compiled = compile_cached(list(plan.calls))
-            shard_inputs = {
-                name: data[plan.start : plan.stop] for name, data in arrays.items()
-            }
-            shard_results.append(
-                self.controller.execute(compiled, shard_inputs, bank=plan.bank)
-            )
+        shard_results = execute_shard_plans(
+            self.controller, plans, arrays, fused=self.fused
+        )
         return self._merge(plans, shard_results)
 
     # ------------------------------------------------------------------ #

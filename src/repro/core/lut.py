@@ -21,6 +21,7 @@ from repro.utils.bitops import bit_length_for, mask_of, pack_elements
 __all__ = [
     "LookupTable",
     "gather_array",
+    "gather_cache_size",
     "lut_from_function",
     "replicate_lut_rows",
     "concat_binary_lut",
@@ -45,6 +46,11 @@ def gather_array(lut: "LookupTable") -> np.ndarray:
         array.setflags(write=False)
         _GATHER_CACHE[lut] = array
     return array
+
+
+def gather_cache_size() -> int:
+    """Number of distinct LUTs with a cached gather array."""
+    return len(_GATHER_CACHE)
 
 
 @dataclass(frozen=True)

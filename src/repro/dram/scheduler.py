@@ -15,6 +15,12 @@ It is intentionally simpler than a full DDR protocol engine (one scheduler
 instance models one rank; the hierarchical dispatcher composes ranks and
 channels above it) because that is the fidelity level of the paper's own
 simulator: command sequences plus timing-parameter enforcement.
+
+:meth:`CommandScheduler.merge_streams` is the *reference* merge.  The
+dispatch layers route makespan queries through
+:mod:`repro.dram.analytic`, which memoizes results on the streams'
+structural signature and replays the same greedy schedule with a priority
+queue (bit-identical, much faster); this class stays the semantic oracle.
 """
 
 from __future__ import annotations
@@ -226,7 +232,7 @@ class CommandScheduler:
                         f"[0, {self.num_banks})"
                     )
                 queue = queues.setdefault(command.bank, deque())
-                queue.extend(self._events_of(command))
+                queue.extend(self.events_of(command))
 
         cursors = {bank: 0.0 for bank in queues}
         makespan = 0.0
@@ -276,14 +282,16 @@ class CommandScheduler:
         self.now_ns = max(self.now_ns, makespan)
         return makespan
 
-    def _events_of(self, command: Command) -> "list[tuple[str, float]]":
+    def events_of(self, command: Command) -> "list[tuple[str, float]]":
         """Decompose a command into activation / bus-occupancy events.
 
         ``("act", gap)`` is one row activation followed by ``gap`` ns of
         intra-bank spacing before the bank's next event; ``("busy", d)``
         occupies the bank for ``d`` ns without activating a row;
         ``("col", d)`` is a column access that additionally respects the
-        bank-group tCCD_L/tCCD_S start-to-start spacing.
+        bank-group tCCD_L/tCCD_S start-to-start spacing.  Public so the
+        analytic fast paths (:mod:`repro.dram.analytic`) decompose
+        commands identically to this merge.
         """
         timing = self.timing
         if command.kind is CommandType.ROW_SWEEP:

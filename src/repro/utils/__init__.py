@@ -1,4 +1,4 @@
-"""Shared utilities: bit manipulation, fixed-point arithmetic, and units."""
+"""Shared utilities: bit manipulation, fixed-point, units, and memoization."""
 
 from repro.utils.bitops import (
     bit_length_for,
@@ -16,6 +16,7 @@ from repro.utils.fixedpoint import (
     from_fixed,
     to_fixed,
 )
+from repro.utils.memo import BoundedMemo
 from repro.utils.units import (
     GIGA,
     KILO,
@@ -30,6 +31,7 @@ from repro.utils.units import (
 )
 
 __all__ = [
+    "BoundedMemo",
     "bit_length_for",
     "bits_required",
     "extract_field",

@@ -1,0 +1,76 @@
+"""A bounded insertion-ordered memo with hit/miss accounting.
+
+The execution stack memoizes several expensive pure computations —
+scheduler makespans, trace templates, hierarchical schedules — all with
+the same needs: a hashable structural key, a size bound so long-running
+services cannot grow without limit, and hit/miss counters surfaced
+through ``PlutoSession.cache_stats()``.  :class:`BoundedMemo` implements
+that once.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BoundedMemo"]
+
+Value = TypeVar("Value")
+
+
+class BoundedMemo(Generic[Value]):
+    """An insertion-ordered memo evicting its oldest entry when full.
+
+    ``get`` counts a hit or a miss; callers that cannot build a hashable
+    key record the bypass with :meth:`note_uncached` so the statistics
+    still account for every query.  ``None`` is not a storable value (a
+    ``get`` returning ``None`` means "absent").
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit <= 0:
+            raise ConfigurationError("memo limit must be positive")
+        self.limit = limit
+        self._entries: dict[Hashable, Value] = {}
+        self.hits = 0
+        self.misses = 0
+        self.uncached = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Value | None:
+        """The cached value, counting a hit; ``None`` (a miss) otherwise."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Value) -> None:
+        """Store ``value``, evicting the oldest entry at the size bound."""
+        if len(self._entries) >= self.limit and key not in self._entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = value
+
+    def note_uncached(self) -> None:
+        """Record a query that bypassed the memo (unhashable key)."""
+        self.uncached += 1
+
+    def stats(self) -> dict[str, int]:
+        """Counters plus the current entry count."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "uncached": self.uncached,
+            "size": len(self._entries),
+        }
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.uncached = 0

@@ -1,0 +1,247 @@
+"""Tests for fused single-pass shard execution (controller/executor.py).
+
+Contract: executing all shards of a plan in one batched pass over
+stacked ``(shards, slice)`` arrays is indistinguishable from the
+per-shard loop — bit-identical outputs and registers, identical command
+traces, identical makespans — with the functional backend kept as the
+per-shard bit-exactness oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.session import PlutoSession, cache_stats, compile_cached
+from repro.controller.dispatch import ParallelDispatcher, ShardPlanner
+from repro.controller.executor import (
+    PlutoController,
+    clear_trace_templates,
+    trace_template_stats,
+)
+from repro.controller.hierarchy import HierarchicalDispatcher
+from repro.core.designs import PlutoDesign
+from repro.core.engine import PlutoConfig, PlutoEngine
+from repro.errors import ConfigurationError, ExecutionError
+
+ELEMENTS = 640
+
+
+def _mixed_program(elements: int = ELEMENTS):
+    """Mul + add + map + bitwise + shift: every command class in one trace."""
+    from repro.api.luts import color_grade_lut
+
+    session = PlutoSession()
+    a = session.pluto_malloc(elements, 2, "a")
+    b = session.pluto_malloc(elements, 2, "b")
+    c = session.pluto_malloc(elements, 4, "c")
+    tmp = session.pluto_malloc(elements, 4, "tmp")
+    summed = session.pluto_malloc(elements, 8, "summed")
+    graded = session.pluto_malloc(elements, 8, "graded")
+    mixed = session.pluto_malloc(elements, 8, "mixed")
+    shifted = session.pluto_malloc(elements, 8, "shifted")
+    session.api_pluto_mul(a, b, tmp, bit_width=2)
+    session.api_pluto_add(c, tmp, summed, bit_width=4)
+    session.api_pluto_map(color_grade_lut(), summed, graded)
+    session.api_pluto_bitwise("xor", graded, summed, mixed)
+    session.api_pluto_shift(mixed, shifted, 2, "r")
+    rng = np.random.default_rng(5)
+    inputs = {
+        "a": rng.integers(0, 4, elements),
+        "b": rng.integers(0, 4, elements),
+        "c": rng.integers(0, 16, elements),
+    }
+    return session, inputs
+
+
+def _assert_same_results(fused, loop):
+    assert len(fused.shard_results) == len(loop.shard_results)
+    for shard_fused, shard_loop in zip(fused.shard_results, loop.shard_results):
+        for name, data in shard_loop.outputs.items():
+            assert np.array_equal(shard_fused.outputs[name], data), name
+        for name, data in shard_loop.registers.items():
+            assert np.array_equal(shard_fused.registers[name], data), name
+        assert shard_fused.lut_queries == shard_loop.lut_queries
+        assert shard_fused.instructions_executed == shard_loop.instructions_executed
+        assert (
+            shard_fused.trace.total_latency_ns == shard_loop.trace.total_latency_ns
+        )
+        assert shard_fused.trace.total_energy_nj == shard_loop.trace.total_energy_nj
+        assert [
+            (cmd.kind, cmd.bank, cmd.rows) for cmd in shard_fused.trace.commands
+        ] == [(cmd.kind, cmd.bank, cmd.rows) for cmd in shard_loop.trace.commands]
+    for name, data in loop.outputs.items():
+        assert np.array_equal(fused.outputs[name], data), name
+    assert fused.makespan_ns == loop.makespan_ns
+    assert fused.serial_latency_ns == loop.serial_latency_ns
+
+
+class TestFusedParallelDispatch:
+    @pytest.mark.parametrize(
+        "design", [PlutoDesign.BSA, PlutoDesign.GSA, PlutoDesign.GMC]
+    )
+    @pytest.mark.parametrize("shards", [1, 3, 7, 16])
+    def test_bit_identical_to_per_shard(self, design, shards):
+        session, inputs = _mixed_program()
+        engine = PlutoEngine(PlutoConfig(design=design, tfaw_fraction=1.0))
+        fused = ParallelDispatcher(engine, fused=True).execute(
+            session.calls, inputs, shards=shards
+        )
+        loop = ParallelDispatcher(engine, fused=False).execute(
+            session.calls, inputs, shards=shards
+        )
+        assert fused.backend == loop.backend == "vectorized"
+        _assert_same_results(fused, loop)
+
+    def test_matches_functional_oracle(self):
+        """Fused vectorized output == per-shard functional execution."""
+        session, inputs = _mixed_program(96)
+        engine = PlutoEngine(PlutoConfig())
+        fused = ParallelDispatcher(engine, fused=True).execute(
+            session.calls, inputs, shards=6
+        )
+        oracle = ParallelDispatcher(engine, backend="functional").execute(
+            session.calls, inputs, shards=6
+        )
+        assert oracle.backend == "functional"
+        for name, data in oracle.outputs.items():
+            assert np.array_equal(fused.outputs[name], data), name
+        assert fused.makespan_ns == oracle.makespan_ns
+
+    def test_functional_backend_defaults_to_per_shard(self):
+        session, inputs = _mixed_program(64)
+        dispatcher = ParallelDispatcher(backend="functional")
+        result = dispatcher.execute(session.calls, inputs, shards=4)
+        assert result.backend == "functional"
+        with pytest.raises(ConfigurationError, match="cannot run fused"):
+            ParallelDispatcher(backend="functional", fused=True).execute(
+                session.calls, inputs, shards=4
+            )
+
+    def test_uneven_shards_group_by_size(self):
+        """29 elements over 6 shards: two size groups, outputs intact."""
+        session, inputs = _mixed_program(29)
+        engine = PlutoEngine(PlutoConfig())
+        reference = session.run(inputs, engine=engine)
+        fused = ParallelDispatcher(engine, fused=True).execute(
+            session.calls, inputs, shards=6
+        )
+        sizes = {plan.size for plan in fused.shard_plans}
+        assert sizes == {4, 5}
+        for name, data in reference.outputs.items():
+            assert np.array_equal(fused.outputs[name], data), name
+
+
+class TestFusedHierarchicalDispatch:
+    @pytest.mark.parametrize("channels,ranks", [(1, 1), (2, 2)])
+    def test_bit_identical_to_per_shard(self, channels, ranks):
+        session, inputs = _mixed_program()
+        engine = PlutoEngine(
+            PlutoConfig(tfaw_fraction=1.0, channels=channels, ranks=ranks)
+        )
+        fused = HierarchicalDispatcher(engine, fused=True).execute(
+            session.calls, inputs
+        )
+        loop = HierarchicalDispatcher(engine, fused=False).execute(
+            session.calls, inputs
+        )
+        _assert_same_results(fused, loop)
+        assert fused.bank_only_makespan_ns == loop.bank_only_makespan_ns
+        assert fused.rank_parallel_makespan_ns == loop.rank_parallel_makespan_ns
+        assert fused.channel_makespans == loop.channel_makespans
+        assert fused.rank_makespans == loop.rank_makespans
+
+
+class TestExecuteFused:
+    def test_requires_batched_backend(self):
+        session, _ = _mixed_program(16)
+        compiled = compile_cached(session.calls)
+        controller = PlutoController(backend="functional")
+        with pytest.raises(ExecutionError, match="fused"):
+            controller.execute_fused(
+                compiled, {}, banks=[0, 1]
+            )
+
+    def test_validates_stacked_shapes_and_widths(self):
+        session, inputs = _mixed_program(16)
+        compiled = compile_cached(session.calls)
+        controller = PlutoController(backend="vectorized")
+        # Two "shards" = two 16-element input sets of the same program.
+        stacked = {
+            name: np.stack([np.asarray(data), np.asarray(data)])
+            for name, data in inputs.items()
+        }
+        results = controller.execute_fused(compiled, stacked, banks=[0, 1])
+        assert len(results) == 2
+        with pytest.raises(ExecutionError, match="shape"):
+            controller.execute_fused(
+                compiled, dict(stacked, a=np.zeros((2, 5), dtype=np.uint64)),
+                banks=[0, 1],
+            )
+        with pytest.raises(ExecutionError, match="missing input"):
+            controller.execute_fused(
+                compiled, {k: v for k, v in stacked.items() if k != "a"},
+                banks=[0, 1],
+            )
+        wide = dict(stacked, a=np.full((2, 16), 9, dtype=np.uint64))
+        with pytest.raises(ExecutionError, match="wider"):
+            controller.execute_fused(compiled, wide, banks=[0, 1])
+        with pytest.raises(ExecutionError, match="bank"):
+            controller.execute_fused(compiled, stacked, banks=[0, 99])
+
+    def test_trace_template_cache(self):
+        clear_trace_templates()
+        session, inputs = _mixed_program(32)
+        engine = PlutoEngine(PlutoConfig())
+        dispatcher = ParallelDispatcher(engine, fused=True)
+        dispatcher.execute(session.calls, inputs, shards=4)
+        first = trace_template_stats()
+        assert first["misses"] >= 1
+        dispatcher.execute(session.calls, inputs, shards=4)
+        second = trace_template_stats()
+        assert second["hits"] > first["hits"]
+        assert second["misses"] == first["misses"]
+
+
+class TestPlannerSharing:
+    def test_equal_shards_share_call_tuples(self):
+        """The resize fix: one rewritten program per distinct shard size."""
+        session, _ = _mixed_program(64)
+        plans = ShardPlanner(num_banks=16).plan(session.calls, 8)
+        assert all(plan.calls is plans[0].calls for plan in plans)
+
+    def test_two_sizes_share_within_each_group(self):
+        session, _ = _mixed_program(29)
+        plans = ShardPlanner(num_banks=16).plan(session.calls, 6)
+        by_size = {}
+        for plan in plans:
+            by_size.setdefault(plan.size, set()).add(id(plan.calls))
+        assert all(len(ids) == 1 for ids in by_size.values())
+        assert len(by_size) == 2
+
+    def test_full_size_slice_reuses_original_calls(self):
+        session, _ = _mixed_program(64)
+        slices = ShardPlanner.plan_slices(session.calls, 1)
+        assert slices[0][2] == tuple(session.calls)
+        assert slices[0][2][0] is session.calls[0]
+
+
+class TestCacheStatsSurface:
+    def test_session_cache_stats_keys(self):
+        stats = PlutoSession.cache_stats()
+        assert set(stats) == {
+            "programs",
+            "trace_templates",
+            "scheduler_merges",
+            "hierarchy_schedules",
+            "engine_helpers",
+            "lut_gather_arrays",
+        }
+        assert {"hits", "misses", "size"} <= set(stats["scheduler_merges"])
+        assert stats is not cache_stats()  # fresh snapshots, not aliases
+
+    def test_service_stats_report_cache_stats(self):
+        from repro.api.service import ServiceStats
+
+        stats = ServiceStats()
+        assert stats.cache_stats().keys() == PlutoSession.cache_stats().keys()

@@ -91,6 +91,52 @@ class TestServing:
 
         asyncio.run(main())
 
+    def test_fused_batch_falls_back_on_individual_errors(self):
+        """A poisoned request fails alone; its batch mates still serve."""
+
+        async def main():
+            session = _add_program()
+            rng = np.random.default_rng(13)
+            good = [_add_inputs(rng) for _ in range(3)]
+            bad = {
+                "a": np.full(ELEMENTS, 99, dtype=np.uint64),  # > 4 bits
+                "b": rng.integers(0, 16, ELEMENTS),
+            }
+            async with session.serve(max_queue=16, max_batch=8) as service:
+                jobs = [
+                    asyncio.ensure_future(service.submit(inputs))
+                    for inputs in (good[0], bad, good[1], good[2])
+                ]
+                results = await asyncio.gather(*jobs, return_exceptions=True)
+            assert isinstance(results[1], Exception)
+            for inputs, served in zip(
+                (good[0], None, good[1], good[2]), results
+            ):
+                if inputs is not None:
+                    assert np.array_equal(
+                        served.outputs["out"], inputs["a"] + inputs["b"]
+                    )
+            assert service.stats.failed == 1
+            assert service.stats.served == 3
+
+        asyncio.run(main())
+
+    def test_repeat_requests_report_memo_hits(self):
+        """ServiceStats.cache_stats shows the memo layers warming up."""
+
+        async def main():
+            session = _add_program()
+            rng = np.random.default_rng(17)
+            async with session.serve(max_queue=16, max_batch=4) as service:
+                await asyncio.gather(
+                    *(service.submit(_add_inputs(rng)) for _ in range(6))
+                )
+                stats = service.stats.cache_stats()
+            assert stats["programs"]["size"] >= 1
+            assert set(stats) >= {"scheduler_merges", "trace_templates"}
+
+        asyncio.run(main())
+
     def test_mixed_programs_split_batches(self):
         async def main():
             add, mul = _add_program(), _mul_program()

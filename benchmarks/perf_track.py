@@ -1,21 +1,24 @@
-"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr4.json``.
+"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr5.json``.
 
 CI's ``perf-track`` job calls this script.  It
 
 1. runs ``benchmarks/test_backend_speed.py`` (vectorized vs functional
    wall-clock), ``benchmarks/test_hierarchy_scaling.py`` (per-level
-   makespan decomposition + fused vs per-shard dispatch), and
+   makespan decomposition + fused vs per-shard dispatch),
    ``benchmarks/test_scheduler_speed.py`` (event-driven vs
-   memoized+analytic makespan throughput) through pytest, collecting
-   their JSON payloads;
-2. gates on the recorded floors — the PR 1-3 floors (vectorized backend
-   speedup, hierarchy gain, per-level monotonicity) plus the PR 4 floors
-   (hierarchy-figure wall-clock budget, dispatch-fusion speedup,
-   memoized-scheduling speedup) — exiting non-zero on a regression so
-   future PRs cannot silently lose the fast paths;
-3. writes the combined record to ``BENCH_pr4.json``, including the
-   cross-PR wall-clock trajectory (seeded from ``BENCH_pr3.json`` when
-   present), which CI uploads as an artifact.
+   memoized+analytic makespan throughput), and
+   ``benchmarks/test_optimizer_gain.py`` (program-optimizer row-sweep
+   and makespan savings) through pytest, collecting their JSON payloads;
+2. gates on the recorded floors — the PR 1-4 floors (vectorized backend
+   speedup, hierarchy gain, per-level monotonicity, hierarchy-figure
+   wall-clock budget, dispatch-fusion speedup, memoized-scheduling
+   speedup) plus the PR 5 floors (optimizer sweep-reduction and
+   makespan-reduction on the LUT-chain-heavy pipelines) — exiting
+   non-zero on a regression so future PRs cannot silently lose the fast
+   paths;
+3. writes the combined record to ``BENCH_pr5.json``, including the
+   cross-PR wall-clock trajectory (carried forward from
+   ``BENCH_pr4.json`` when present), which CI uploads as an artifact.
 
 Run locally with:  python benchmarks/perf_track.py
 """
@@ -33,19 +36,21 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCHMARKS = Path(__file__).resolve().parent
-PR = 4
+PR = 5
 
 
-def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, float]:
+def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, dict, float]:
     """Run the benchmark files, returning their payloads and wall time."""
     backend_json = workdir / "backend_speed.json"
     hierarchy_json = workdir / "hierarchy_scaling.json"
     scheduler_json = workdir / "scheduler_speed.json"
+    optimizer_json = workdir / "optimizer_gain.json"
     env = dict(
         os.environ,
         BACKEND_SPEED_JSON=str(backend_json),
         HIERARCHY_SCALING_JSON=str(hierarchy_json),
         SCHEDULER_SPEED_JSON=str(scheduler_json),
+        OPTIMIZER_GAIN_JSON=str(optimizer_json),
     )
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
@@ -60,6 +65,7 @@ def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, float]:
             str(BENCHMARKS / "test_backend_speed.py"),
             str(BENCHMARKS / "test_hierarchy_scaling.py"),
             str(BENCHMARKS / "test_scheduler_speed.py"),
+            str(BENCHMARKS / "test_optimizer_gain.py"),
             "-q",
         ],
         env=env,
@@ -74,11 +80,12 @@ def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, float]:
         json.loads(backend_json.read_text()),
         json.loads(hierarchy_json.read_text()),
         json.loads(scheduler_json.read_text()),
+        json.loads(optimizer_json.read_text()),
         wall_s,
     )
 
 
-def gate(backend: dict, hierarchy: dict, scheduler: dict) -> list[str]:
+def gate(backend: dict, hierarchy: dict, scheduler: dict, optimizer: dict) -> list[str]:
     """Return regression messages (empty when every floor holds)."""
     failures = []
     backend_floor = backend.get("min_speedup", 5.0)
@@ -124,24 +131,40 @@ def gate(backend: dict, hierarchy: dict, scheduler: dict) -> list[str]:
             f"memoized scheduling speedup {scheduler['memoized_speedup']:.1f}x "
             f"fell below the asserted floor {scheduler_floor}x"
         )
+    sweep_floor = optimizer.get("min_sweep_reduction", 0.30)
+    if optimizer["sweep_reduction"] < sweep_floor:
+        failures.append(
+            f"optimizer sweep reduction {optimizer['sweep_reduction']:.2f} "
+            f"fell below the asserted floor {sweep_floor}"
+        )
+    makespan_floor = optimizer.get("min_makespan_reduction", 0.20)
+    if optimizer["makespan_reduction"] < makespan_floor:
+        failures.append(
+            f"optimizer makespan reduction {optimizer['makespan_reduction']:.2f} "
+            f"fell below the asserted floor {makespan_floor}"
+        )
     return failures
 
 
-def trajectory(hierarchy: dict, wall_s: float) -> list[dict]:
-    """The cross-PR wall-clock record, seeded from the previous bench file."""
-    points = []
-    previous = REPO_ROOT / "BENCH_pr3.json"
+def trajectory(hierarchy: dict, optimizer: dict, wall_s: float) -> list[dict]:
+    """The cross-PR wall-clock record, carried forward from the last file."""
+    points: list[dict] = []
+    previous = REPO_ROOT / f"BENCH_pr{PR - 1}.json"
     if previous.exists():
         try:
             record = json.loads(previous.read_text())
-            previous_hierarchy = record.get("hierarchy_scaling", {})
-            points.append(
-                {
-                    "pr": record.get("pr", 3),
-                    "benchmark_wall_clock_s": record.get("benchmark_wall_clock_s"),
-                    "hierarchy_wall_clock_s": previous_hierarchy.get("wall_clock_s"),
-                }
-            )
+            carried = record.get("trajectory")
+            if isinstance(carried, list):
+                points.extend(point for point in carried if isinstance(point, dict))
+            else:
+                previous_hierarchy = record.get("hierarchy_scaling", {})
+                points.append(
+                    {
+                        "pr": record.get("pr", PR - 1),
+                        "benchmark_wall_clock_s": record.get("benchmark_wall_clock_s"),
+                        "hierarchy_wall_clock_s": previous_hierarchy.get("wall_clock_s"),
+                    }
+                )
         except (json.JSONDecodeError, OSError):
             pass
     points.append(
@@ -149,6 +172,8 @@ def trajectory(hierarchy: dict, wall_s: float) -> list[dict]:
             "pr": PR,
             "benchmark_wall_clock_s": wall_s,
             "hierarchy_wall_clock_s": hierarchy["wall_clock_s"],
+            "optimizer_sweep_reduction": optimizer["sweep_reduction"],
+            "optimizer_makespan_reduction": optimizer["makespan_reduction"],
         }
     )
     return points
@@ -165,8 +190,8 @@ def main() -> None:
     arguments = parser.parse_args()
 
     with tempfile.TemporaryDirectory() as tmp:
-        backend, hierarchy, scheduler, wall_s = run_benchmarks(Path(tmp))
-    failures = gate(backend, hierarchy, scheduler)
+        backend, hierarchy, scheduler, optimizer, wall_s = run_benchmarks(Path(tmp))
+    failures = gate(backend, hierarchy, scheduler, optimizer)
 
     record = {
         "pr": PR,
@@ -174,8 +199,9 @@ def main() -> None:
         "backend_speed": backend,
         "hierarchy_scaling": hierarchy,
         "scheduler_speed": scheduler,
+        "optimizer_gain": optimizer,
         "dispatch_fusion": hierarchy.get("dispatch_fusion", {}),
-        "trajectory": trajectory(hierarchy, wall_s),
+        "trajectory": trajectory(hierarchy, optimizer, wall_s),
         "regressions": failures,
     }
     arguments.output.write_text(json.dumps(record, indent=2) + "\n")
@@ -191,7 +217,11 @@ def main() -> None:
         f"fusion {fusion.get('fusion_speedup', float('nan')):.2f}x "
         f"(floor {fusion.get('min_fusion_speedup', 1.5)}x); "
         f"memoized scheduling {scheduler['memoized_speedup']:.0f}x "
-        f"(floor {scheduler.get('min_speedup', 25.0)}x)"
+        f"(floor {scheduler.get('min_speedup', 25.0)}x); "
+        f"optimizer sweeps -{100 * optimizer['sweep_reduction']:.0f}% "
+        f"(floor {100 * optimizer.get('min_sweep_reduction', 0.30):.0f}%), "
+        f"makespan -{100 * optimizer['makespan_reduction']:.0f}% "
+        f"(floor {100 * optimizer.get('min_makespan_reduction', 0.20):.0f}%)"
     )
     if failures:
         for failure in failures:

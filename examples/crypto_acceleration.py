@@ -5,10 +5,18 @@ verifies that the LUT-decomposed variants produce identical ciphertext,
 computes packet CRCs, and prints the modelled speedups of the three pLUTo
 designs over the CPU baseline for each workload.
 
-Run with:  python examples/crypto_acceleration.py
+With ``--optimize`` each cipher family's recorded pipeline (CRC byte-table
+chain, Salsa20 add-rotate-xor lane, VMPC nested substitutions) also runs
+through the program optimizer (:mod:`repro.opt`), printing the
+:class:`~repro.opt.report.OptimizationReport` and verifying bit-identical
+ciphertext.
+
+Run with:  python examples/crypto_acceleration.py [--optimize]
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
@@ -18,7 +26,36 @@ from repro.utils.units import format_time
 from repro.workloads import CrcWorkload, Salsa20Workload, VmpcWorkload
 
 
+def run_optimized_pipelines(engine: PlutoEngine) -> None:
+    """Run the recorded crypto pipelines through the pass pipeline."""
+    from repro.workloads.programs import workload_program
+
+    for name in ("crc", "salsa20", "vmpc"):
+        program = workload_program(name, elements=8192)
+        print(f"--- {program.family} pipeline, optimized ---")
+        print(f"({program.description})")
+        plain = program.session.run(program.inputs, engine=engine)
+        optimized = program.session.run(
+            program.inputs, engine=engine, optimize=True
+        )
+        for output in plain.outputs:
+            assert np.array_equal(
+                plain.outputs[output], optimized.outputs[output]
+            ), output
+        print(optimized.optimization.summary())
+        print(f"modelled latency: {format_time(plain.latency_ns)} -> "
+              f"{format_time(optimized.latency_ns)} "
+              f"({plain.latency_ns / optimized.latency_ns:.2f}x), "
+              "outputs bit-identical")
+        print()
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--optimize", action="store_true",
+                        help="also run each family's recorded pipeline "
+                             "through the program optimizer")
+    arguments = parser.parse_args()
     cpu = ProcessorBaseline(CPU_XEON_5118)
     workloads = [Salsa20Workload(), VmpcWorkload(), CrcWorkload(32)]
 
@@ -44,6 +81,9 @@ def main() -> None:
             print(f"  {design.display_name:10s}: {format_time(total)}"
                   f"  ({cpu_cost.latency_ns / total:6.0f}x over CPU)")
         print()
+
+    if arguments.optimize:
+        run_optimized_pipelines(PlutoEngine(PlutoConfig(design=PlutoDesign.BSA)))
 
 
 if __name__ == "__main__":

@@ -6,7 +6,13 @@ functionally through a pLUTo-enabled subarray, verifies the outputs against
 the host references, and compares the modelled pLUTo execution time and
 energy against the CPU and GPU baselines.
 
-Run with:  python examples/image_pipeline.py [--pixels N]
+With ``--optimize`` the example additionally records the whole pipeline
+(grade -> threshold -> invert) as one API program and runs it through the
+program optimizer (:mod:`repro.opt`): the three chained 256-entry maps
+fuse into a single composed LUT query with bit-identical outputs, and the
+:class:`~repro.opt.report.OptimizationReport` is printed.
+
+Run with:  python examples/image_pipeline.py [--pixels N] [--optimize]
 """
 
 from __future__ import annotations
@@ -48,16 +54,40 @@ def run_workload(workload, elements: int, engine: PlutoEngine) -> None:
     print()
 
 
+def run_optimized_pipeline(engine: PlutoEngine) -> None:
+    """Record the full image pipeline and show the optimizer's savings."""
+    from repro.workloads.programs import workload_program
+
+    print("--- optimized pipeline (grade -> threshold -> invert) ---")
+    program = workload_program("image", elements=16384)
+    plain = program.session.run(program.inputs, engine=engine)
+    optimized = program.session.run(program.inputs, engine=engine, optimize=True)
+    for name in plain.outputs:
+        assert np.array_equal(plain.outputs[name], optimized.outputs[name]), name
+    print(optimized.optimization.summary())
+    print(f"modelled latency  : {format_time(plain.latency_ns)} -> "
+          f"{format_time(optimized.latency_ns)} "
+          f"({plain.latency_ns / optimized.latency_ns:.2f}x)")
+    print(f"outputs           : bit-identical across {plain.outputs['inverted'].size} "
+          "pixels")
+    print()
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--pixels", type=int, default=936_000,
                         help="number of pixels (3 channel values each)")
+    parser.add_argument("--optimize", action="store_true",
+                        help="also run the recorded pipeline through the "
+                             "program optimizer and print its report")
     arguments = parser.parse_args()
     elements = arguments.pixels * 3
 
     engine = PlutoEngine(PlutoConfig(design=PlutoDesign.BSA))
     run_workload(ImageBinarization(), elements, engine)
     run_workload(ColorGrading(), elements, engine)
+    if arguments.optimize:
+        run_optimized_pipeline(engine)
 
 
 if __name__ == "__main__":

@@ -23,6 +23,11 @@ The public API is organised by subsystem:
     engine, and the analytical throughput/energy/area models.
 ``repro.isa`` / ``repro.api`` / ``repro.compiler`` / ``repro.controller``
     The system-integration stack of Section 6.
+``repro.opt``
+    The program optimizer: a pass pipeline (LUT-chain fusion, common
+    subexpression elimination, dead-op elimination, LUT deduplication)
+    that rewrites recorded API programs before compilation with
+    bit-identical outputs and strictly fewer row sweeps.
 ``repro.backend``
     Pluggable execution backends for compiled programs: the bit-exact
     subarray row-sweep path and the vectorized NumPy fast path, both

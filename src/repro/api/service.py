@@ -21,7 +21,12 @@ execution stack:
 * **warm memo caches** — repeat requests hit the process-wide compiled
   program, trace-template, and scheduler-makespan memos (hierarchical
   requests re-merge nothing), and
-  :meth:`ServiceStats.cache_stats` reports their effectiveness.
+  :meth:`ServiceStats.cache_stats` reports their effectiveness;
+* **program optimization** — with ``optimize=True`` every request runs
+  through the pass pipeline of :mod:`repro.opt` (memoized on program
+  structure) before compilation, and batches coalesce on the
+  *post-optimization* structure key, so all downstream memo layers work
+  on the rewritten, cheaper program.
 
 The service executes requests through either the plain controller or, when
 constructed with ``hierarchical=True``, the
@@ -44,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.api.session import PlutoSession
     from repro.controller.executor import ExecutionResult
     from repro.core.engine import PlutoEngine
+    from repro.opt.report import OptimizationReport
 
 __all__ = ["PlutoService", "ServedResult", "ServiceStats"]
 
@@ -68,6 +74,8 @@ class ServedResult:
     backend: str
     #: The full execution result (trace, registers, per-shard results).
     result: "ExecutionResult"
+    #: Program-optimizer report for this request (None when unoptimized).
+    optimization: "OptimizationReport | None" = None
 
     @property
     def turnaround_s(self) -> float:
@@ -88,6 +96,14 @@ class ServiceStats:
     total_queue_wait_s: float = 0.0
     total_execute_s: float = 0.0
     total_latency_ns: float = 0.0
+    #: Requests run through the program optimizer before compilation.
+    optimized: int = 0
+    #: Optimizer savings summed over every optimized request
+    #: (:meth:`repro.opt.report.OptimizationReport.counters`).
+    optimizer_ops_saved: int = 0
+    optimizer_lut_queries_saved: int = 0
+    optimizer_swept_rows_saved: int = 0
+    optimizer_lut_loads_saved: int = 0
 
     @property
     def mean_queue_wait_s(self) -> float:
@@ -123,12 +139,33 @@ class _PendingRequest:
     backend: object
     enqueued_at: float
     future: "asyncio.Future[ServedResult]"
-    structure_key: object = field(default=None)
+    #: Structure key of ``calls`` (post-optimization when optimized);
+    #: ``None`` is the single unhashable-structure sentinel, used both to
+    #: keep such requests out of coalesced batches and to skip the
+    #: structure-keyed memo layers.
+    structure_key: tuple | None = field(default=None)
+    #: Whether ``calls`` went through the program optimizer.
+    optimized: bool = False
+    #: The optimizer's report for this request, when optimized.
+    optimization: "OptimizationReport | None" = None
 
     @property
     def backend_key(self) -> object:
         """Hashable identity of the backend (names share, instances don't)."""
         return self.backend if isinstance(self.backend, str) else id(self.backend)
+
+    @property
+    def coalesce_key(self) -> object:
+        """Batch identity: requests coalesce iff these keys are equal.
+
+        Optimized requests carry their *post-optimization* structure key
+        plus the ``optimized`` flag, so an optimized and an unoptimized
+        recording of the same program never share a batch.  Requests
+        with unhashable structure get an identity key and run alone.
+        """
+        if self.structure_key is None:
+            return (id(self),)
+        return (self.structure_key, self.backend_key, self.optimized)
 
 
 class PlutoService:
@@ -146,7 +183,12 @@ class PlutoService:
     ``max_queue`` bounds the number of queued requests (backpressure);
     ``max_batch`` caps how many structurally identical requests one batch
     coalesces; ``hierarchical=True`` executes every request through the
-    channel/rank/bank :class:`~repro.controller.hierarchy.HierarchicalDispatcher`.
+    channel/rank/bank :class:`~repro.controller.hierarchy.HierarchicalDispatcher`;
+    ``optimize=True`` runs every request's program through the optimizer
+    (:mod:`repro.opt`) before compilation — memoized on program
+    structure, with the batch coalescing then keyed on the
+    *post-optimization* structure so the compile, trace-template, and
+    makespan caches all hit on the rewritten program.
     """
 
     def __init__(
@@ -158,6 +200,7 @@ class PlutoService:
         max_batch: int = 16,
         hierarchical: bool = False,
         shards: int | None = None,
+        optimize: bool = False,
     ) -> None:
         from repro.errors import ConfigurationError
 
@@ -171,6 +214,7 @@ class PlutoService:
         self.max_batch = max_batch
         self.hierarchical = hierarchical
         self.shards = shards
+        self.optimize = optimize
         self.stats = ServiceStats()
         self._queue: asyncio.Queue[_PendingRequest] | None = None
         self._worker: asyncio.Task | None = None
@@ -275,14 +319,17 @@ class PlutoService:
         inputs: Mapping[str, np.ndarray],
         *,
         session: "PlutoSession | None" = None,
+        optimize: bool | None = None,
     ) -> ServedResult:
         """Queue one request and await its result.
 
         Blocks (asynchronously) while the bounded queue is full — this is
         the service's backpressure: a flood of producers is slowed to the
         rate the executor drains, instead of buffering without bound.
+        ``optimize`` overrides the service-wide optimizer default for
+        this request.
         """
-        request = self._make_request(inputs, session)
+        request = self._make_request(inputs, session, optimize)
         queue = self._require_queue()
         await queue.put(request)
         self._note_depth(queue)
@@ -293,6 +340,7 @@ class PlutoService:
         inputs: Mapping[str, np.ndarray],
         *,
         session: "PlutoSession | None" = None,
+        optimize: bool | None = None,
     ) -> "asyncio.Future[ServedResult]":
         """Enqueue without waiting; shed load when the queue is full.
 
@@ -302,7 +350,7 @@ class PlutoService:
         immediately.  Returns a future resolving to the
         :class:`ServedResult`.
         """
-        request = self._make_request(inputs, session)
+        request = self._make_request(inputs, session, optimize)
         queue = self._require_queue()
         try:
             queue.put_nowait(request)
@@ -318,6 +366,7 @@ class PlutoService:
         self,
         inputs: Mapping[str, np.ndarray],
         session: "PlutoSession | None",
+        optimize: bool | None = None,
     ) -> _PendingRequest:
         if not self.running:
             raise ServiceClosedError(
@@ -325,16 +374,46 @@ class PlutoService:
                 "or call start() first"
             )
         source = session if session is not None else self.session
+        calls = list(source.calls)
+        report = None
+        optimized = self.optimize if optimize is None else optimize
+        if optimized:
+            from repro.opt.pipeline import optimize_cached
+
+            program = optimize_cached(calls)
+            calls = list(program.calls)
+            report = program.report
         request = _PendingRequest(
             request_id=self._next_id,
-            calls=list(source.calls),
+            calls=calls,
             inputs={name: np.asarray(data) for name, data in inputs.items()},
             backend=source.backend,
             enqueued_at=time.monotonic(),
             future=asyncio.get_running_loop().create_future(),
+            structure_key=self._structure_key(calls),
+            optimized=optimized,
+            optimization=report,
         )
         self._next_id += 1
         return request
+
+    @staticmethod
+    def _structure_key(calls: list) -> tuple | None:
+        """The program structure key, or ``None`` when unhashable.
+
+        The key tuple builds fine around unhashable parameter values
+        (e.g. lists) and only fails at hash time, so hashability is
+        probed here — downstream the key is both compared (coalescing)
+        and hashed (compile/trace-template memos).
+        """
+        from repro.api.session import program_structure_key
+
+        try:
+            key = program_structure_key(calls)
+            hash(key)
+            return key
+        except TypeError:
+            return None
 
     def _require_queue(self) -> "asyncio.Queue[_PendingRequest]":
         if self._queue is None:
@@ -387,21 +466,14 @@ class PlutoService:
         Only *consecutive* structurally identical requests coalesce, so
         results keep arrival order; the first request for a different
         program is parked in ``_pending`` and leads the next batch.
+        Keys are computed at submission time (post-optimization for
+        optimized requests); requests with unhashable structure carry
+        the ``None`` sentinel and never coalesce.
         """
-        from repro.api.session import program_structure_key
-
-        def key_of(request: _PendingRequest) -> object:
-            if request.structure_key is None:
-                try:
-                    request.structure_key = program_structure_key(request.calls)
-                except TypeError:
-                    request.structure_key = object()  # never coalesces
-            return request.structure_key
-
-        leader_key = (key_of(batch[0]), batch[0].backend_key)
+        leader_key = batch[0].coalesce_key
         while len(batch) < self.max_batch and not queue.empty():
             candidate = queue.get_nowait()
-            if (key_of(candidate), candidate.backend_key) != leader_key:
+            if candidate.coalesce_key != leader_key:
                 self._pending = candidate
                 break
             batch.append(candidate)
@@ -435,13 +507,29 @@ class PlutoService:
                 batch_size=len(batch),
                 backend=result.backend,
                 result=result,
+                optimization=request.optimization,
             )
-            self.stats.served += 1
-            self.stats.total_queue_wait_s += served.queue_wait_s
-            self.stats.total_execute_s += served.execute_s
-            self.stats.total_latency_ns += served.latency_ns
+            self._account_served(request, served)
             if not request.future.cancelled():
                 request.future.set_result(served)
+
+    def _account_served(self, request: _PendingRequest, served: ServedResult) -> None:
+        """Fold one successfully executed request into the aggregates.
+
+        Optimizer savings are counted here — not at submission — so
+        load-shed or never-run requests cannot inflate the counters.
+        """
+        self.stats.served += 1
+        self.stats.total_queue_wait_s += served.queue_wait_s
+        self.stats.total_execute_s += served.execute_s
+        self.stats.total_latency_ns += served.latency_ns
+        report = request.optimization
+        if request.optimized and report is not None:
+            self.stats.optimized += 1
+            self.stats.optimizer_ops_saved += report.ops_saved
+            self.stats.optimizer_lut_queries_saved += report.lut_queries_saved
+            self.stats.optimizer_swept_rows_saved += report.swept_rows_saved
+            self.stats.optimizer_lut_loads_saved += report.lut_loads_saved
 
     def _execute_batch_fused(self, batch: "list[_PendingRequest]") -> bool:
         """Run a coalesced batch in one fused controller pass.
@@ -466,9 +554,9 @@ class PlutoService:
             # Differing provided-input sets seed different registers; the
             # per-request loop handles them individually.
             return False
+        # The unified sentinel: ``None`` structure keys (unhashable
+        # programs) simply skip the trace-template memo.
         structure_key = batch[0].structure_key
-        if not isinstance(structure_key, tuple):
-            structure_key = None  # unhashable-structure sentinel: no memo
         begin = time.monotonic()
         try:
             compiled = compile_cached(batch[0].calls)
@@ -498,11 +586,9 @@ class PlutoService:
                 batch_size=len(batch),
                 backend=result.backend,
                 result=result,
+                optimization=request.optimization,
             )
-            self.stats.served += 1
-            self.stats.total_queue_wait_s += served.queue_wait_s
-            self.stats.total_execute_s += served.execute_s
-            self.stats.total_latency_ns += served.latency_ns
+            self._account_served(request, served)
             if not request.future.cancelled():
                 request.future.set_result(served)
         return True

@@ -38,6 +38,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.controller.executor import ExecutionResult
     from repro.controller.hierarchy import HierarchicalExecutionResult
     from repro.core.engine import PlutoEngine
+    from repro.opt.pipeline import OptimizedProgram
+    from repro.opt.report import OptimizationReport
 
 __all__ = [
     "PlutoSession",
@@ -112,9 +114,13 @@ def cache_stats() -> dict[str, dict]:
     from repro.controller.hierarchy import hierarchy_cache_stats
     from repro.core.lut import gather_cache_size
     from repro.dram.analytic import merge_cache_stats
+    from repro.opt.compose import compose_cache_stats
+    from repro.opt.pipeline import optimizer_cache_stats
 
     return {
         "programs": {"size": program_cache_size()},
+        "optimizer": optimizer_cache_stats(),
+        "lut_compositions": compose_cache_stats(),
         "trace_templates": trace_template_stats(),
         "scheduler_merges": merge_cache_stats(),
         "hierarchy_schedules": hierarchy_cache_stats(),
@@ -343,6 +349,37 @@ class PlutoSession:
         """Compile the recorded calls (cached by program structure)."""
         return compile_cached(self.calls)
 
+    def optimize(self) -> "OptimizedProgram":
+        """Run the program optimizer over the recorded calls.
+
+        Returns an :class:`~repro.opt.pipeline.OptimizedProgram` — the
+        rewritten call list (LUT chains fused, duplicates reused, dead
+        ops dropped, tables deduplicated) plus the
+        :class:`~repro.opt.report.OptimizationReport` accounting for the
+        saved sweeps.  Results are memoized on the program structure
+        key, so the hot serving path optimizes each shape once.  The
+        optimized program's outputs are bit-identical to this session's.
+        """
+        from repro.opt.pipeline import optimize_cached
+
+        return optimize_cached(self.calls)
+
+    def _resolve_optimize(
+        self, optimize: bool | None, engine: "PlutoEngine | None"
+    ) -> bool:
+        """Per-call ``optimize=`` wins; ``None`` defers to the engine config."""
+        if optimize is not None:
+            return bool(optimize)
+        return engine is not None and engine.config.optimize
+
+    def _calls_for_run(
+        self, optimize: bool | None, engine: "PlutoEngine | None"
+    ) -> "tuple[list[ApiCall], OptimizationReport | None]":
+        if not self._resolve_optimize(optimize, engine):
+            return list(self.calls), None
+        optimized = self.optimize()
+        return list(optimized.calls), optimized.report
+
     def _controller(self, engine: "PlutoEngine | None"):
         from repro.controller.executor import PlutoController
 
@@ -354,6 +391,7 @@ class PlutoSession:
         *,
         engine: "PlutoEngine | None" = None,
         shards: int = 1,
+        optimize: bool | None = None,
     ) -> "ExecutionResult | ShardedExecutionResult":
         """Compile (cached) and execute this program on the session backend.
 
@@ -372,15 +410,30 @@ class PlutoSession:
         is the paper's unthrottled configuration; pass an engine with
         ``tfaw_fraction=1.0`` for the nominal four-activation window).
         See :class:`~repro.controller.dispatch.ShardedExecutionResult`.
+
+        ``optimize=True`` runs the program optimizer (:mod:`repro.opt`)
+        before compilation: LUT chains fuse, duplicate computations are
+        reused, dead ops disappear, and identical tables share one load
+        — with bit-identical outputs.  ``None`` (the default) defers to
+        the engine's ``PlutoConfig(optimize=...)``.  The result carries
+        the :class:`~repro.opt.report.OptimizationReport` as
+        ``result.optimization``, and the compile / trace-template /
+        makespan caches all key on the *optimized* structure.
         """
         if shards < 1:
             raise ConfigurationError("shard count must be >= 1")
+        calls, report = self._calls_for_run(optimize, engine)
         if shards > 1:
             from repro.controller.dispatch import ParallelDispatcher
 
             dispatcher = ParallelDispatcher(engine, backend=self.backend)
-            return dispatcher.execute(self.calls, inputs, shards=shards)
-        return self._controller(engine).execute(self.compile(), dict(inputs))
+            result = dispatcher.execute(calls, inputs, shards=shards)
+        else:
+            result = self._controller(engine).execute(
+                compile_cached(calls), dict(inputs)
+            )
+        result.optimization = report
+        return result
 
     def run_batch(
         self,
@@ -388,6 +441,7 @@ class PlutoSession:
         *,
         engine: "PlutoEngine | None" = None,
         parallel: bool = False,
+        optimize: bool | None = None,
     ) -> BatchResult:
         """Execute this program once per input set in ``batch``.
 
@@ -397,8 +451,11 @@ class PlutoSession:
         across the module's banks and the batch's ``total_latency_ns``
         becomes the scheduler-derived makespan of the merged command
         streams (the naive sum stays available as ``serial_latency_ns``).
+        ``optimize`` runs the program optimizer first (see :meth:`run`);
+        the whole batch then executes the optimized program.
         """
-        compiled = self.compile()
+        calls, _ = self._calls_for_run(optimize, engine)
+        compiled = compile_cached(calls)
         controller = self._controller(engine)
         if not parallel:
             return BatchResult(
@@ -436,6 +493,7 @@ class PlutoSession:
         *,
         engine: "PlutoEngine | None" = None,
         shards: int | None = None,
+        optimize: bool | None = None,
     ) -> "HierarchicalExecutionResult":
         """Execute this program spread over the full DRAM hierarchy.
 
@@ -445,12 +503,18 @@ class PlutoSession:
         Table 3 single-channel module).  Outputs are bit-identical to
         :meth:`run`; ``latency_ns`` is the hierarchical makespan and the
         result decomposes the speedup per level.  ``shards`` defaults to
-        every bank in the device.
+        every bank in the device.  ``optimize`` runs the program
+        optimizer first (see :meth:`run`): the shard planner then plans
+        over the optimized call tuple, so every shard executes the
+        rewritten program.
         """
         from repro.controller.hierarchy import HierarchicalDispatcher
 
+        calls, report = self._calls_for_run(optimize, engine)
         dispatcher = HierarchicalDispatcher(engine, backend=self.backend)
-        return dispatcher.execute(self.calls, inputs, shards=shards)
+        result = dispatcher.execute(calls, inputs, shards=shards)
+        result.optimization = report
+        return result
 
     def serve(
         self,
@@ -460,13 +524,16 @@ class PlutoSession:
         max_batch: int = 16,
         hierarchical: bool = False,
         shards: int | None = None,
+        optimize: bool = False,
     ) -> "PlutoService":
         """An async serving frontend bound to this session's program.
 
         Returns a :class:`~repro.api.service.PlutoService` (use it as an
         async context manager) with a bounded request queue, structure-key
-        batch coalescing, and per-request latency accounting.  See
-        :mod:`repro.api.service`.
+        batch coalescing, and per-request latency accounting.
+        ``optimize=True`` runs every request through the program
+        optimizer, and requests coalesce on their *post-optimization*
+        structure key.  See :mod:`repro.api.service`.
         """
         from repro.api.service import PlutoService
 
@@ -477,6 +544,7 @@ class PlutoSession:
             max_batch=max_batch,
             hierarchical=hierarchical,
             shards=shards,
+            optimize=optimize,
         )
 
     @staticmethod

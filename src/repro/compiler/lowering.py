@@ -98,7 +98,11 @@ class PlutoCompiler:
         program = PlutoProgram()
         vector_bindings: dict[str, RowRegister] = {}
         lut_bindings: dict[int, LookupTable] = {}
-        lut_registers: dict[str, SubarrayRegister] = {}
+        # Keyed on the (frozen, hashable) table itself, not its name:
+        # distinct tables that happen to share a name must not alias one
+        # subarray, and the optimizer's LUT-deduplication pass makes
+        # content-equal tables *be* one object so they bind once here.
+        lut_registers: dict[LookupTable, SubarrayRegister] = {}
 
         def _bind_vector(vector: PlutoVector) -> RowRegister:
             register = vector_bindings.get(vector.name)
@@ -115,10 +119,10 @@ class PlutoCompiler:
             return register
 
         def _bind_lut(lut: LookupTable) -> SubarrayRegister:
-            register = lut_registers.get(lut.name)
+            register = lut_registers.get(lut)
             if register is None:
                 register = register_file.allocate_subarray(lut.num_entries, lut.name)
-                lut_registers[lut.name] = register
+                lut_registers[lut] = register
                 lut_bindings[register.index] = lut
                 program.append(
                     PlutoSubarrayAlloc(

@@ -19,7 +19,7 @@ command trace is identical whichever backend performs the arithmetic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -43,6 +43,9 @@ from repro.isa.instructions import (
 )
 from repro.utils.bitops import mask_of
 from repro.utils.memo import BoundedMemo
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.opt.report import OptimizationReport
 
 __all__ = [
     "ExecutionResult",
@@ -107,6 +110,9 @@ class ExecutionResult:
     registers: dict[str, np.ndarray] = field(default_factory=dict)
     #: Name of the execution backend that produced the functional outputs.
     backend: str = "functional"
+    #: Report of the pre-compilation program optimization, when one ran
+    #: (``PlutoSession.run(..., optimize=True)`` and friends).
+    optimization: "OptimizationReport | None" = None
 
     @property
     def latency_ns(self) -> float:

@@ -61,6 +61,12 @@ class PlutoConfig:
     hierarchy (Table 3 evaluates one channel with one rank); the
     hierarchical dispatcher uses them to model channel- and rank-level
     parallelism above the per-rank bank scheduling.
+
+    ``optimize`` makes every execution routed through an engine built
+    from this configuration run the program optimizer
+    (:mod:`repro.opt`) before compilation by default; per-call
+    ``optimize=`` arguments on the session entry points still override
+    it either way.
     """
 
     design: PlutoDesign = PlutoDesign.BSA
@@ -69,6 +75,7 @@ class PlutoConfig:
     tfaw_fraction: float = 0.0
     channels: int | None = None
     ranks: int | None = None
+    optimize: bool = False
 
     def __post_init__(self) -> None:
         if self.memory not in _MEMORY_PRESETS:

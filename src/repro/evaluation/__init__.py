@@ -14,6 +14,7 @@ from repro.evaluation.figures import (
     figure13_tfaw_sensitivity,
     figure14_salp_scaling,
     figure_hierarchy_scaling,
+    figure_optimizer_gains,
 )
 from repro.evaluation.harness import (
     PLUTO_CONFIG_LABELS,
@@ -44,6 +45,7 @@ __all__ = [
     "figure13_tfaw_sensitivity",
     "figure14_salp_scaling",
     "figure_hierarchy_scaling",
+    "figure_optimizer_gains",
     "PLUTO_CONFIG_LABELS",
     "EvaluationHarness",
     "WorkloadResult",

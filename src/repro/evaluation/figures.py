@@ -38,6 +38,7 @@ __all__ = [
     "figure13_sharded_tfaw",
     "figure14_salp_scaling",
     "figure_hierarchy_scaling",
+    "figure_optimizer_gains",
 ]
 
 
@@ -492,6 +493,78 @@ def figure_hierarchy_scaling(
                 "rank_speedup": decomposition["rank"],
                 "channel_speedup": decomposition["channel"],
                 "total_speedup": decomposition["total"],
+            }
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Optimizer gains — pass-pipeline savings per workload family
+# --------------------------------------------------------------------- #
+def figure_optimizer_gains(
+    elements: int = 4096, shards: int = 8, seed: int = 0
+) -> FigureResult:
+    """Measured row-sweep and makespan savings of the program optimizer.
+
+    Every registry family's recorded pipeline
+    (:func:`repro.workloads.programs.optimizer_workload_programs`) runs
+    unoptimized and optimized on the pLUTo-BSA engine; the rows record
+    the optimizer's static account (ops / LUT queries before and after)
+    next to the *executed* ``ROW_SWEEP`` command counts and the
+    bank-parallel scheduler makespans, with the outputs of both runs
+    compared bit for bit.
+    """
+    from repro.dram.commands import CommandType
+    from repro.workloads.programs import optimizer_workload_programs
+
+    def row_sweeps(trace) -> int:
+        return sum(
+            1 for command in trace.commands if command.kind is CommandType.ROW_SWEEP
+        )
+
+    engine = PlutoEngine(PlutoConfig(design=PlutoDesign.BSA))
+    result = FigureResult(
+        name="Optimizer gains",
+        description="Pass-pipeline savings per workload family (pLUTo-BSA)",
+    )
+    for program in optimizer_workload_programs(elements=elements, seed=seed):
+        session = program.session
+        plain = session.run(program.inputs, engine=engine, shards=shards)
+        optimized = session.run(
+            program.inputs, engine=engine, shards=shards, optimize=True
+        )
+        for name in plain.outputs:
+            if not np.array_equal(plain.outputs[name], optimized.outputs[name]):
+                raise AssertionError(
+                    f"{program.name}: optimized output {name!r} diverged"
+                )
+        report = optimized.optimization
+        sweeps_before = row_sweeps(plain.trace)
+        sweeps_after = row_sweeps(optimized.trace)
+        result.rows.append(
+            {
+                "workload": program.name,
+                "family": program.family,
+                "ops_before": report.before.ops,
+                "ops_after": report.after.ops,
+                "lut_queries_before": report.before.lut_queries,
+                "lut_queries_after": report.after.lut_queries,
+                "lut_loads_before": report.before.lut_loads,
+                "lut_loads_after": report.after.lut_loads,
+                "row_sweeps_before": sweeps_before,
+                "row_sweeps_after": sweeps_after,
+                "sweep_reduction": (
+                    (sweeps_before - sweeps_after) / sweeps_before
+                    if sweeps_before
+                    else 0.0
+                ),
+                "makespan_before_ns": plain.makespan_ns,
+                "makespan_after_ns": optimized.makespan_ns,
+                "makespan_reduction": (
+                    (plain.makespan_ns - optimized.makespan_ns) / plain.makespan_ns
+                    if plain.makespan_ns
+                    else 0.0
+                ),
             }
         )
     return result

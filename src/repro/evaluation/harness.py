@@ -179,6 +179,7 @@ class EvaluationHarness:
         inputs: Mapping[str, np.ndarray],
         *,
         shards: int = 1,
+        optimize: bool = False,
     ) -> "dict[str, ExecutionResult]":
         """Execute an API program bit-exactly on every configured engine.
 
@@ -197,13 +198,25 @@ class EvaluationHarness:
         Controllers and dispatchers are reused across calls, so repeated
         evaluations run on warm LUT, trace-template, and scheduler-memo
         caches.
+
+        ``optimize=True`` runs the program optimizer (:mod:`repro.opt`)
+        once — the rewrite is engine-independent — and every
+        configuration then compiles and executes the optimized program;
+        each result carries the shared report as ``.optimization``.
         """
+        from repro.api.session import compile_cached
         from repro.controller.dispatch import ParallelDispatcher
         from repro.controller.executor import PlutoController
         from repro.errors import ConfigurationError
 
         if shards < 1:
             raise ConfigurationError("shard count must be >= 1")
+        calls = list(session.calls)
+        report = None
+        if optimize:
+            optimized = session.optimize()
+            calls = list(optimized.calls)
+            report = optimized.report
         results: dict[str, ExecutionResult] = {}
         if shards > 1:
             for label, engine in self.engines.items():
@@ -211,15 +224,15 @@ class EvaluationHarness:
                 if dispatcher is None:
                     dispatcher = ParallelDispatcher(engine, backend=self.backend)
                     self._dispatchers[label] = dispatcher
-                results[label] = dispatcher.execute(
-                    session.calls, inputs, shards=shards
-                )
+                results[label] = dispatcher.execute(calls, inputs, shards=shards)
+                results[label].optimization = report
             return results
-        compiled = session.compile()
+        compiled = compile_cached(calls)
         for label, engine in self.engines.items():
             controller = self._controllers.get(label)
             if controller is None:
                 controller = PlutoController(engine, backend=self.backend)
                 self._controllers[label] = controller
             results[label] = controller.execute(compiled, dict(inputs))
+            results[label].optimization = report
         return results

@@ -1,0 +1,75 @@
+"""Program-shape queries shared by the optimization passes.
+
+Passes reason about an API program as a single-assignment dataflow graph
+over vector *names*: every vector is written by at most one call, so
+"producer of name" and "consumers of name" are well defined, and the
+*natural outputs* — vectors produced but never consumed — are exactly
+what :class:`~repro.compiler.dependency_graph.DependencyGraph` (and
+therefore :class:`~repro.controller.executor.ExecutionResult.outputs`)
+treats as the program results.  Preserving that set bit-identically is
+the optimizer's contract.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.api.handles import ApiCall
+from repro.compiler.dependency_graph import DependencyGraph
+from repro.errors import CompilationError
+
+__all__ = [
+    "consumer_counts",
+    "producer_index",
+    "natural_output_names",
+    "topological_calls",
+]
+
+
+def consumer_counts(calls: Sequence[ApiCall]) -> dict[str, int]:
+    """Vector name -> number of calls reading it (a call counts once per read)."""
+    counts: dict[str, int] = {}
+    for call in calls:
+        for operand in call.inputs:
+            counts[operand.name] = counts.get(operand.name, 0) + 1
+    return counts
+
+
+def producer_index(calls: Sequence[ApiCall]) -> dict[str, int]:
+    """Vector name -> index of the call producing it (single-assignment)."""
+    producers: dict[str, int] = {}
+    for index, call in enumerate(calls):
+        if call.output.name in producers:
+            raise CompilationError(
+                f"vector {call.output.name!r} is written by more than one "
+                "API call; pLUTo programs are single-assignment"
+            )
+        producers[call.output.name] = index
+    return producers
+
+
+def natural_output_names(calls: Sequence[ApiCall]) -> frozenset[str]:
+    """Names of vectors produced but never consumed (the program results)."""
+    produced = {call.output.name for call in calls}
+    consumed = {operand.name for call in calls for operand in call.inputs}
+    return frozenset(produced - consumed)
+
+
+def topological_calls(calls: Sequence[ApiCall]) -> list[ApiCall]:
+    """The calls in dependency order (producers before consumers).
+
+    Recording order already is topological for programs built through
+    :class:`~repro.api.session.PlutoSession` handles, so the common case
+    returns the input order unchanged; out-of-order recordings are
+    normalised through the compiler's dependency graph (which also
+    validates single assignment and acyclicity).
+    """
+    seen: set[str] = set()
+    produced = {call.output.name for call in calls}
+    for call in calls:
+        if any(name.name in produced and name.name not in seen for name in call.inputs):
+            return DependencyGraph(list(calls)).execution_order()
+        seen.add(call.output.name)
+    # Already topological; still validate single assignment.
+    producer_index(calls)
+    return list(calls)

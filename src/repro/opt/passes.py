@@ -1,0 +1,254 @@
+"""The optimization passes: fusion, CSE, dead-op and LUT-load elimination.
+
+Every pass is a pure rewrite ``calls -> calls`` over a topologically
+ordered, single-assignment API program, parameterised by the set of
+*preserved* vector names (the program outputs the caller observes).  The
+shared contract, which makes the whole pipeline bit-identical:
+
+* the preserved vectors keep their names, sizes, widths, and values;
+* no preserved vector gains a consumer (so the compiler's natural-output
+  derivation — produced but never consumed — is unchanged);
+* every rewrite replaces a computation with one producing the exact same
+  element values (LUT composition is exact; CSE only merges calls whose
+  operation, operands, table, parameters, *and* output width coincide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Protocol, Sequence
+
+from repro.api.handles import ApiCall, PlutoVector
+from repro.opt.analysis import consumer_counts, producer_index
+from repro.opt.compose import can_compose, compose_luts
+from repro.opt.report import PassStats
+
+__all__ = [
+    "OptimizationPass",
+    "LutDeduplicationPass",
+    "LutChainFusionPass",
+    "CommonSubexpressionEliminationPass",
+    "DeadOpEliminationPass",
+    "FUSED_BINARY_OPERATION",
+]
+
+#: Operation name of a fused binary-headed LUT chain.  The ``_lut``
+#: suffix routes it through the compiler's binary shift+OR+pluto_op
+#: lowering, exactly like the ``add``/``mul``/``*_lut`` call it replaces.
+FUSED_BINARY_OPERATION = "fused_lut"
+
+
+class OptimizationPass(Protocol):
+    """One rewrite of a topologically ordered API program."""
+
+    name: str
+
+    def run(
+        self, calls: list[ApiCall], preserved: frozenset[str]
+    ) -> tuple[list[ApiCall], PassStats]:
+        """Rewrite ``calls``; report how many calls changed."""
+        ...  # pragma: no cover - protocol
+
+
+class LutDeduplicationPass:
+    """Share one table object between content-identical LUTs.
+
+    The compiler allocates one subarray register (and one ROM load) per
+    distinct :class:`~repro.core.lut.LookupTable`; tables that hold the
+    same values under different names would each pay a
+    ``pluto_subarray_alloc`` and a load sweep.  Rewriting every call to
+    the first content-equal instance collapses them into one binding.
+    """
+
+    name = "lut-dedup"
+
+    def run(
+        self, calls: list[ApiCall], preserved: frozenset[str]
+    ) -> tuple[list[ApiCall], PassStats]:
+        canonical: dict[tuple, object] = {}
+        rewritten: list[ApiCall] = []
+        changed = 0
+        for call in calls:
+            if call.lut is not None:
+                key = (call.lut.values, call.lut.index_bits, call.lut.element_bits)
+                canon = canonical.setdefault(key, call.lut)
+                if canon is not call.lut and canon != call.lut:
+                    call = replace(call, lut=canon)
+                    changed += 1
+            rewritten.append(call)
+        return rewritten, PassStats(self.name, changed, {"tables_shared": changed})
+
+
+class LutChainFusionPass:
+    """Compose single-consumer LUT chains into one table lookup.
+
+    ``t = f(...); y = map(g, t)`` with ``t`` consumed only by the map and
+    not itself a program output becomes one query of the composed table
+    ``g o f`` (:mod:`repro.opt.compose`).  The head ``f`` may be unary
+    (``map`` — the fused call stays a ``map``) or binary (``add``,
+    ``mul``, ``*_lut``, or an earlier fusion — the fused call keeps the
+    binary operand-merge lowering under :data:`FUSED_BINARY_OPERATION`).
+    Applied to fixpoint, a whole unary chain collapses into the head.
+    """
+
+    name = "lut-chain-fusion"
+
+    def run(
+        self, calls: list[ApiCall], preserved: frozenset[str]
+    ) -> tuple[list[ApiCall], PassStats]:
+        calls = list(calls)
+        fused_chains = 0
+        while True:
+            applied = self._fuse_one(calls, preserved)
+            if not applied:
+                break
+            fused_chains += 1
+        return calls, PassStats(
+            self.name, fused_chains, {"fused_chains": fused_chains}
+        )
+
+    @staticmethod
+    def _fuse_one(calls: list[ApiCall], preserved: frozenset[str]) -> bool:
+        counts = consumer_counts(calls)
+        producers = producer_index(calls)
+        for index, tail in enumerate(calls):
+            if tail.operation != "map" or tail.lut is None:
+                continue
+            source = tail.inputs[0]
+            head_index = producers.get(source.name)
+            if head_index is None:
+                continue
+            head = calls[head_index]
+            if head.lut is None:
+                continue
+            if counts.get(source.name) != 1 or source.name in preserved:
+                continue
+            if not can_compose(head.lut, tail.lut):
+                continue
+            operation = "map" if head.operation == "map" else FUSED_BINARY_OPERATION
+            fused = ApiCall(
+                operation=operation,
+                inputs=head.inputs,
+                output=tail.output,
+                lut=compose_luts(head.lut, tail.lut),
+                parameters=dict(head.parameters),
+            )
+            calls[head_index] = fused
+            del calls[index]
+            return True
+        return False
+
+
+class CommonSubexpressionEliminationPass:
+    """Reuse the earlier result of a repeated computation.
+
+    Two calls compute the same values when their operation, input vectors
+    (by name, size, and width), table contents, parameters, and output
+    width all coincide — the output width matters because bitwise and
+    shift results are masked to it.  Later duplicates are dropped and
+    their consumers redirected to the first result; a duplicate whose
+    output is itself a program result is instead rewritten into an
+    in-DRAM ``move`` (RowClone) when that trades a row sweep for a copy.
+    Duplicates of a program result are left alone: aliasing consumers
+    onto a preserved vector would give it consumers and change the
+    program's output set.
+    """
+
+    name = "cse"
+
+    def run(
+        self, calls: list[ApiCall], preserved: frozenset[str]
+    ) -> tuple[list[ApiCall], PassStats]:
+        rename: dict[str, PlutoVector] = {}
+        first_by_key: dict[tuple, ApiCall] = {}
+        rewritten: list[ApiCall] = []
+        deduped = 0
+        moved = 0
+        for call in calls:
+            call = self._rewrite_inputs(call, rename)
+            key = self._expression_key(call)
+            earlier = first_by_key.get(key) if key is not None else None
+            if earlier is None:
+                if key is not None:
+                    first_by_key[key] = call
+                rewritten.append(call)
+                continue
+            if earlier.output.name in preserved:
+                # Reading a preserved vector would make it a consumed
+                # intermediate; keep the duplicate as recorded.
+                rewritten.append(call)
+                continue
+            if call.output.name in preserved:
+                if call.lut is not None:
+                    # The duplicate's result must stay materialised under
+                    # its own name: copy it instead of re-sweeping.
+                    rewritten.append(
+                        ApiCall(
+                            operation="move",
+                            inputs=(earlier.output,),
+                            output=call.output,
+                        )
+                    )
+                    moved += 1
+                else:
+                    rewritten.append(call)
+                continue
+            rename[call.output.name] = earlier.output
+            deduped += 1
+        return rewritten, PassStats(
+            self.name, deduped + moved, {"reused": deduped, "moved": moved}
+        )
+
+    @staticmethod
+    def _rewrite_inputs(call: ApiCall, rename: dict[str, PlutoVector]) -> ApiCall:
+        if not any(operand.name in rename for operand in call.inputs):
+            return call
+        return replace(
+            call,
+            inputs=tuple(rename.get(operand.name, operand) for operand in call.inputs),
+        )
+
+    @staticmethod
+    def _expression_key(call: ApiCall) -> tuple | None:
+        key = (
+            call.operation,
+            tuple(
+                (operand.name, operand.size, operand.bit_width)
+                for operand in call.inputs
+            ),
+            call.lut,
+            tuple(sorted(call.parameters.items())),
+            call.output.size,
+            call.output.bit_width,
+        )
+        try:
+            hash(key)  # unhashable parameter values: never merged
+        except TypeError:
+            return None
+        return key
+
+
+class DeadOpEliminationPass:
+    """Drop calls whose results cannot reach a preserved output.
+
+    A backward sweep from the preserved names over the (topological)
+    call list; anything not transitively needed — dead branches the
+    caller declared away, or intermediates detached by fusion and CSE —
+    is removed, together with its row allocations and sweeps.
+    """
+
+    name = "dead-op-elimination"
+
+    def run(
+        self, calls: Sequence[ApiCall], preserved: frozenset[str]
+    ) -> tuple[list[ApiCall], PassStats]:
+        needed = set(preserved)
+        kept_reversed: list[ApiCall] = []
+        for call in reversed(list(calls)):
+            if call.output.name not in needed:
+                continue
+            kept_reversed.append(call)
+            needed.update(operand.name for operand in call.inputs)
+        kept = list(reversed(kept_reversed))
+        removed = len(calls) - len(kept)
+        return kept, PassStats(self.name, removed, {"removed": removed})

@@ -1,0 +1,146 @@
+"""Optimization accounting: per-pass statistics and the overall report.
+
+Every pass returns a :class:`PassStats` describing what it changed, and
+the :class:`~repro.opt.pipeline.PassManager` folds them — together with
+before/after :class:`ProgramMetrics` snapshots — into one
+:class:`OptimizationReport`.  The report is deliberately expressed in the
+units the rest of the stack optimises for: *LUT queries* (each lowers to
+one ``pluto_op``, i.e. one row sweep per source row), *swept LUT rows*
+(the activation count behind those sweeps), and *LUT loads* (one
+``pluto_subarray_alloc`` + ROM load per distinct table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.handles import ApiCall
+
+__all__ = ["PassStats", "ProgramMetrics", "OptimizationReport", "program_metrics"]
+
+
+@dataclass(frozen=True)
+class PassStats:
+    """What one pass changed during one pipeline round."""
+
+    name: str
+    #: Number of calls this pass removed, fused away, or rewrote.
+    changed: int = 0
+    #: Pass-specific counters (e.g. ``{"fused_chains": 3}``).
+    detail: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ProgramMetrics:
+    """Cost-relevant shape of one API program.
+
+    ``swept_lut_rows`` counts the LUT rows activated per source row of
+    input (each LUT query sweeps ``lut.num_entries`` rows), so the ratio
+    of before/after values equals the row-sweep activation reduction for
+    any input size.  ``lut_loads`` counts distinct tables as the compiler
+    binds them (one subarray allocation and ROM load each).
+    """
+
+    ops: int
+    lut_queries: int
+    swept_lut_rows: int
+    lut_loads: int
+    lut_rows_loaded: int
+
+
+def program_metrics(calls: "Sequence[ApiCall]") -> ProgramMetrics:
+    """Compute the cost-relevant metrics of a call list."""
+    lut_calls = [call for call in calls if call.lut is not None]
+    distinct_luts = {call.lut for call in lut_calls}
+    return ProgramMetrics(
+        ops=len(calls),
+        lut_queries=len(lut_calls),
+        swept_lut_rows=sum(call.lut.num_entries for call in lut_calls),
+        lut_loads=len(distinct_luts),
+        lut_rows_loaded=sum(lut.num_entries for lut in distinct_luts),
+    )
+
+
+@dataclass(frozen=True)
+class OptimizationReport:
+    """Before/after metrics plus the per-pass trail of one optimization."""
+
+    before: ProgramMetrics
+    after: ProgramMetrics
+    passes: tuple[PassStats, ...] = ()
+    #: Pipeline rounds run before the program reached a fixpoint.
+    rounds: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Savings
+    # ------------------------------------------------------------------ #
+    @property
+    def ops_saved(self) -> int:
+        """API calls eliminated (each was at least one DRAM operation)."""
+        return self.before.ops - self.after.ops
+
+    @property
+    def lut_queries_saved(self) -> int:
+        """``pluto_op`` instructions eliminated (one row sweep per source row)."""
+        return self.before.lut_queries - self.after.lut_queries
+
+    @property
+    def swept_rows_saved(self) -> int:
+        """LUT-row activations saved per source row of input."""
+        return self.before.swept_lut_rows - self.after.swept_lut_rows
+
+    @property
+    def lut_loads_saved(self) -> int:
+        """Distinct-table subarray allocations (and ROM loads) eliminated."""
+        return self.before.lut_loads - self.after.lut_loads
+
+    @property
+    def lut_query_reduction(self) -> float:
+        """Fraction of LUT queries eliminated, in [0, 1]."""
+        if self.before.lut_queries == 0:
+            return 0.0
+        return self.lut_queries_saved / self.before.lut_queries
+
+    @property
+    def sweep_reduction(self) -> float:
+        """Fraction of swept LUT rows eliminated, in [0, 1]."""
+        if self.before.swept_lut_rows == 0:
+            return 0.0
+        return self.swept_rows_saved / self.before.swept_lut_rows
+
+    @property
+    def changed(self) -> bool:
+        """Whether any pass rewrote the program at all."""
+        return any(stats.changed for stats in self.passes)
+
+    def counters(self) -> dict[str, int]:
+        """The savings as a flat counter dict (service/stats surfaces)."""
+        return {
+            "ops_saved": self.ops_saved,
+            "lut_queries_saved": self.lut_queries_saved,
+            "swept_rows_saved": self.swept_rows_saved,
+            "lut_loads_saved": self.lut_loads_saved,
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line report (used by the examples)."""
+        lines = [
+            f"ops            : {self.before.ops} -> {self.after.ops} "
+            f"({self.ops_saved} saved)",
+            f"LUT queries    : {self.before.lut_queries} -> "
+            f"{self.after.lut_queries} "
+            f"({100.0 * self.lut_query_reduction:.0f}% fewer row sweeps)",
+            f"swept LUT rows : {self.before.swept_lut_rows} -> "
+            f"{self.after.swept_lut_rows} (per source row)",
+            f"LUT loads      : {self.before.lut_loads} -> {self.after.lut_loads}",
+            f"rounds         : {self.rounds}",
+        ]
+        applied = [stats for stats in self.passes if stats.changed]
+        if applied:
+            lines.append(
+                "passes         : "
+                + ", ".join(f"{stats.name} x{stats.changed}" for stats in applied)
+            )
+        return "\n".join(lines)

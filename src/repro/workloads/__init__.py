@@ -5,6 +5,11 @@ from repro.workloads.bitcount import BitCount
 from repro.workloads.bitwise import RowBitwise
 from repro.workloads.crc import CrcWorkload
 from repro.workloads.image import ColorGrading, ImageBinarization, synthetic_image
+from repro.workloads.programs import (
+    WorkloadProgram,
+    optimizer_workload_programs,
+    workload_program,
+)
 from repro.workloads.registry import (
     all_workloads,
     figure7_workloads,
@@ -23,6 +28,9 @@ __all__ = [
     "ColorGrading",
     "ImageBinarization",
     "synthetic_image",
+    "WorkloadProgram",
+    "optimizer_workload_programs",
+    "workload_program",
     "all_workloads",
     "figure7_workloads",
     "figure9_workloads",

@@ -231,6 +231,8 @@ class TestCacheStatsSurface:
         stats = PlutoSession.cache_stats()
         assert set(stats) == {
             "programs",
+            "optimizer",
+            "lut_compositions",
             "trace_templates",
             "scheduler_merges",
             "hierarchy_schedules",

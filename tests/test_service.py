@@ -305,3 +305,109 @@ class TestServing:
             PlutoService(session, max_queue=0)
         with pytest.raises(ConfigurationError):
             PlutoService(session, max_batch=-1)
+
+
+def _chain_program() -> PlutoSession:
+    """A fusible two-query LUT chain (the optimizer halves its sweeps)."""
+    from repro.api import binarize_lut, color_grade_lut
+
+    session = PlutoSession()
+    px = session.pluto_malloc(ELEMENTS, 8, "px")
+    a = session.pluto_malloc(ELEMENTS, 8, "a")
+    out = session.pluto_malloc(ELEMENTS, 8, "out")
+    session.api_pluto_map(color_grade_lut(), px, a)
+    session.api_pluto_map(binarize_lut(127), a, out)
+    return session
+
+
+def _chain_inputs(rng: np.random.Generator) -> dict[str, np.ndarray]:
+    return {"px": rng.integers(0, 256, ELEMENTS)}
+
+
+class TestOptimizedServing:
+    def test_optimized_requests_serve_identical_outputs(self):
+        async def main():
+            session = _chain_program()
+            rng = np.random.default_rng(41)
+            requests = [_chain_inputs(rng) for _ in range(6)]
+            async with session.serve(max_queue=16, max_batch=8) as plain_service:
+                plain = await asyncio.gather(
+                    *(plain_service.submit(inputs) for inputs in requests)
+                )
+            async with session.serve(
+                max_queue=16, max_batch=8, optimize=True
+            ) as service:
+                optimized = await asyncio.gather(
+                    *(service.submit(inputs) for inputs in requests)
+                )
+            for before, after in zip(plain, optimized):
+                assert np.array_equal(before.outputs["out"], after.outputs["out"])
+                assert after.optimization is not None
+                assert after.optimization.lut_queries_saved == 1
+                assert after.result.lut_queries < before.result.lut_queries
+            stats = service.stats
+            assert stats.optimized == 6
+            assert stats.optimizer_lut_queries_saved == 6
+            assert stats.optimizer_swept_rows_saved == 6 * 256
+
+        asyncio.run(main())
+
+    def test_optimized_requests_coalesce_on_post_optimization_key(self):
+        async def main():
+            session = _chain_program()
+            rng = np.random.default_rng(43)
+            async with session.serve(
+                max_queue=16, max_batch=8, optimize=True
+            ) as service:
+                results = await asyncio.gather(
+                    *(service.submit(_chain_inputs(rng)) for _ in range(8))
+                )
+                assert any(served.batch_size > 1 for served in results)
+                assert service.stats.coalesced > 0
+
+        asyncio.run(main())
+
+    def test_optimized_and_unoptimized_do_not_cross_coalesce(self):
+        """Regression: the same recording, optimized and not, never shares
+        a batch — even when the optimizer leaves the program unchanged
+        (identical post-optimization structure key)."""
+
+        async def main():
+            session = _add_program()  # single call: optimization is a no-op
+            rng = np.random.default_rng(47)
+            async with session.serve(max_queue=16, max_batch=8) as service:
+                futures = [
+                    service.submit_nowait(_add_inputs(rng), optimize=True)
+                    for _ in range(3)
+                ]
+                futures += [
+                    service.submit_nowait(_add_inputs(rng), optimize=False)
+                    for _ in range(3)
+                ]
+                results = await asyncio.gather(*futures)
+            for index, served in enumerate(results):
+                assert served.batch_size <= 3
+                assert (served.optimization is not None) == (index < 3)
+            # The six consecutive requests split on the optimized flag.
+            assert service.stats.batches >= 2
+            assert service.stats.optimized == 3
+
+        asyncio.run(main())
+
+    def test_unhashable_structure_requests_run_alone(self):
+        """The unified ``None`` sentinel: unhashable programs never coalesce."""
+
+        async def main():
+            session = _add_program()
+            # A list-valued parameter makes the structure key unhashable.
+            session.calls[0].parameters["taps"] = [1, 2, 3]
+            rng = np.random.default_rng(53)
+            async with session.serve(max_queue=16, max_batch=8) as service:
+                results = await asyncio.gather(
+                    *(service.submit(_add_inputs(rng)) for _ in range(4))
+                )
+            assert all(served.batch_size == 1 for served in results)
+            assert service.stats.coalesced == 0
+            assert service.stats.served == 4
+
+        asyncio.run(main())

@@ -1,24 +1,26 @@
-"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr5.json``.
+"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr6.json``.
 
 CI's ``perf-track`` job calls this script.  It
 
 1. runs ``benchmarks/test_backend_speed.py`` (vectorized vs functional
-   wall-clock), ``benchmarks/test_hierarchy_scaling.py`` (per-level
+   wall-clock, plus the whole-program compiled tier vs the interpreted
+   vectorized walk), ``benchmarks/test_hierarchy_scaling.py`` (per-level
    makespan decomposition + fused vs per-shard dispatch),
    ``benchmarks/test_scheduler_speed.py`` (event-driven vs
    memoized+analytic makespan throughput), and
    ``benchmarks/test_optimizer_gain.py`` (program-optimizer row-sweep
    and makespan savings) through pytest, collecting their JSON payloads;
-2. gates on the recorded floors — the PR 1-4 floors (vectorized backend
+2. gates on the recorded floors — the PR 1-5 floors (vectorized backend
    speedup, hierarchy gain, per-level monotonicity, hierarchy-figure
    wall-clock budget, dispatch-fusion speedup, memoized-scheduling
-   speedup) plus the PR 5 floors (optimizer sweep-reduction and
-   makespan-reduction on the LUT-chain-heavy pipelines) — exiting
-   non-zero on a regression so future PRs cannot silently lose the fast
-   paths;
-3. writes the combined record to ``BENCH_pr5.json``, including the
+   speedup, optimizer sweep/makespan reduction) plus the PR 6 floor
+   (compiled-tier speedup over the interpreted vectorized path on every
+   serving workload) — exiting non-zero on a regression so future PRs
+   cannot silently lose the fast paths;
+3. writes the combined record to ``BENCH_pr6.json``, including the
    cross-PR wall-clock trajectory (carried forward from
-   ``BENCH_pr4.json`` when present), which CI uploads as an artifact.
+   ``BENCH_pr5.json`` when present — a missing or unreadable prior file
+   is warned about, not fatal), which CI uploads as an artifact.
 
 Run locally with:  python benchmarks/perf_track.py
 """
@@ -36,7 +38,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCHMARKS = Path(__file__).resolve().parent
-PR = 5
+PR = 6
 
 
 def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, dict, float]:
@@ -143,14 +145,30 @@ def gate(backend: dict, hierarchy: dict, scheduler: dict, optimizer: dict) -> li
             f"optimizer makespan reduction {optimizer['makespan_reduction']:.2f} "
             f"fell below the asserted floor {makespan_floor}"
         )
+    compiled = backend.get("compiled", {})
+    compiled_floor = compiled.get("min_speedup", 5.0)
+    for name, row in compiled.get("workloads", {}).items():
+        if row["speedup"] < compiled_floor:
+            failures.append(
+                f"compiled-tier speedup {row['speedup']:.2f}x on {name} fell "
+                f"below the asserted floor {compiled_floor}x"
+            )
     return failures
 
 
-def trajectory(hierarchy: dict, optimizer: dict, wall_s: float) -> list[dict]:
+def trajectory(
+    backend: dict, hierarchy: dict, optimizer: dict, wall_s: float
+) -> list[dict]:
     """The cross-PR wall-clock record, carried forward from the last file."""
     points: list[dict] = []
     previous = REPO_ROOT / f"BENCH_pr{PR - 1}.json"
-    if previous.exists():
+    if not previous.exists():
+        print(
+            f"WARNING: {previous.name} not found; the cross-PR trajectory "
+            "restarts at this PR",
+            file=sys.stderr,
+        )
+    else:
         try:
             record = json.loads(previous.read_text())
             carried = record.get("trajectory")
@@ -165,8 +183,13 @@ def trajectory(hierarchy: dict, optimizer: dict, wall_s: float) -> list[dict]:
                         "hierarchy_wall_clock_s": previous_hierarchy.get("wall_clock_s"),
                     }
                 )
-        except (json.JSONDecodeError, OSError):
-            pass
+        except (json.JSONDecodeError, OSError) as error:
+            print(
+                f"WARNING: could not read {previous.name} ({error}); the "
+                "cross-PR trajectory restarts at this PR",
+                file=sys.stderr,
+            )
+    compiled_rows = backend.get("compiled", {}).get("workloads", {})
     points.append(
         {
             "pr": PR,
@@ -174,6 +197,9 @@ def trajectory(hierarchy: dict, optimizer: dict, wall_s: float) -> list[dict]:
             "hierarchy_wall_clock_s": hierarchy["wall_clock_s"],
             "optimizer_sweep_reduction": optimizer["sweep_reduction"],
             "optimizer_makespan_reduction": optimizer["makespan_reduction"],
+            "compiled_tier_speedups": {
+                name: row["speedup"] for name, row in compiled_rows.items()
+            },
         }
     )
     return points
@@ -201,7 +227,7 @@ def main() -> None:
         "scheduler_speed": scheduler,
         "optimizer_gain": optimizer,
         "dispatch_fusion": hierarchy.get("dispatch_fusion", {}),
-        "trajectory": trajectory(hierarchy, optimizer, wall_s),
+        "trajectory": trajectory(backend, hierarchy, optimizer, wall_s),
         "regressions": failures,
     }
     arguments.output.write_text(json.dumps(record, indent=2) + "\n")
@@ -223,6 +249,16 @@ def main() -> None:
         f"makespan -{100 * optimizer['makespan_reduction']:.0f}% "
         f"(floor {100 * optimizer.get('min_makespan_reduction', 0.20):.0f}%)"
     )
+    compiled = backend.get("compiled", {})
+    if compiled.get("workloads"):
+        speedups = "; ".join(
+            f"{name} {row['speedup']:.2f}x"
+            for name, row in compiled["workloads"].items()
+        )
+        print(
+            f"compiled tier {speedups} "
+            f"(floor {compiled.get('min_speedup', 5.0)}x)"
+        )
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

@@ -23,6 +23,7 @@ from repro.evaluation import (
     figure12_scalability,
     figure12_sharded_scaling,
     figure13_sharded_tfaw,
+    figure_execution_tiers,
     figure_hierarchy_scaling,
     figure_optimizer_gains,
     figure13_tfaw_sensitivity,
@@ -69,6 +70,11 @@ PAPER_HEADLINES = {
         "(beyond the paper) LUT chains are closed under composition, so "
         "fusion/CSE/DCE cut executed row sweeps with bit-identical outputs"
     ),
+    "Execution tiers": (
+        "(beyond the paper) Whole-program compiled closures remove the "
+        "per-instruction Python dispatch of the simulator (>=5x over the "
+        "interpreted walk on serving programs, bit-identical outputs)"
+    ),
     "Table 1": "GMC fastest & most efficient, GSA smallest area, BSA balanced",
     "Table 5": "Area overheads: +10.2% (GSA), +16.7% (BSA), +23.1% (GMC)",
     "Table 6": (
@@ -101,6 +107,7 @@ def main() -> None:
         lambda: figure14_salp_scaling(scale=1.0),
         lambda: figure_hierarchy_scaling(),
         lambda: figure_optimizer_gains(),
+        lambda: figure_execution_tiers(),
         lambda: table01_design_comparison(),
         lambda: table05_area_breakdown(),
         lambda: table06_prior_pum_comparison(),

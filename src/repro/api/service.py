@@ -629,5 +629,7 @@ class PlutoService:
             )
         controller = self._controller_for(request)
         return controller.execute(
-            compile_cached(request.calls), dict(request.inputs)
+            compile_cached(request.calls),
+            dict(request.inputs),
+            structure_key=request.structure_key,
         )

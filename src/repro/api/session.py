@@ -46,7 +46,10 @@ __all__ = [
     "BatchResult",
     "execute_batch",
     "program_structure_key",
+    "compile_cached",
+    "compile_cached_with_key",
     "clear_program_cache",
+    "clear_all_caches",
     "program_cache_size",
     "cache_stats",
 ]
@@ -63,11 +66,16 @@ def program_structure_key(calls: Sequence[ApiCall]) -> tuple:
     return _key(list(calls))
 
 
-def compile_cached(calls: Sequence[ApiCall]) -> "CompiledProgram":
-    """Compile a call list, reusing structurally identical past compiles.
+def compile_cached_with_key(
+    calls: Sequence[ApiCall],
+) -> "tuple[CompiledProgram, tuple | None]":
+    """Compile a call list and return it with its structure key.
 
-    Falls back to an uncached compile when the structure key is not
-    hashable (e.g. a call carries list-valued parameters).
+    The key is what downstream warm-state layers (trace templates, the
+    whole-program compiled closures) memoize on, so the execution front
+    doors thread it through to the controller.  Falls back to an
+    uncached compile — and a ``None`` key — when the structure key is
+    not hashable (e.g. a call carries list-valued parameters).
     """
     from repro.compiler.lowering import PlutoCompiler
 
@@ -75,11 +83,16 @@ def compile_cached(calls: Sequence[ApiCall]) -> "CompiledProgram":
         key = program_structure_key(calls)
         compiled = _PROGRAM_CACHE.get(key)
     except TypeError:
-        return PlutoCompiler().compile(list(calls))
+        return PlutoCompiler().compile(list(calls)), None
     if compiled is None:
         compiled = PlutoCompiler().compile(list(calls))
         _PROGRAM_CACHE[key] = compiled
-    return compiled
+    return compiled, key
+
+
+def compile_cached(calls: Sequence[ApiCall]) -> "CompiledProgram":
+    """Compile a call list, reusing structurally identical past compiles."""
+    return compile_cached_with_key(calls)[0]
 
 
 def clear_program_cache() -> None:
@@ -109,6 +122,7 @@ def cache_stats() -> dict[str, dict]:
     :meth:`~repro.api.service.ServiceStats.cache_stats`, so the serving
     layer can report memo effectiveness.
     """
+    from repro.backend.compiled import compiled_exec_stats
     from repro.controller.dispatch import engine_helper_cache_stats
     from repro.controller.executor import trace_template_stats
     from repro.controller.hierarchy import hierarchy_cache_stats
@@ -122,11 +136,42 @@ def cache_stats() -> dict[str, dict]:
         "optimizer": optimizer_cache_stats(),
         "lut_compositions": compose_cache_stats(),
         "trace_templates": trace_template_stats(),
+        "compiled_exec": compiled_exec_stats(),
         "scheduler_merges": merge_cache_stats(),
         "hierarchy_schedules": hierarchy_cache_stats(),
         "engine_helpers": engine_helper_cache_stats(),
         "lut_gather_arrays": {"size": gather_cache_size()},
     }
+
+
+def clear_all_caches() -> None:
+    """Drop every process-wide memo layer of the execution stack.
+
+    One call covering everything :func:`cache_stats` reports — compiled
+    programs, the optimizer memo, composed LUTs, trace templates, the
+    whole-program compiled closures, scheduler merges, hierarchical
+    schedules, the pure per-engine helpers, and the LUT gather arrays —
+    so tests and long-running services stop clearing layers one by one
+    (and new layers are covered automatically).
+    """
+    from repro.backend.compiled import clear_compiled_programs
+    from repro.controller.dispatch import clear_engine_helper_caches
+    from repro.controller.executor import clear_trace_templates
+    from repro.controller.hierarchy import clear_hierarchy_cache
+    from repro.core.lut import clear_gather_cache
+    from repro.dram.analytic import clear_merge_cache
+    from repro.opt.compose import clear_compose_cache
+    from repro.opt.pipeline import clear_optimizer_cache
+
+    clear_program_cache()
+    clear_optimizer_cache()
+    clear_compose_cache()
+    clear_trace_templates()
+    clear_compiled_programs()
+    clear_merge_cache()
+    clear_hierarchy_cache()
+    clear_engine_helper_caches()
+    clear_gather_cache()
 
 
 @dataclass
@@ -429,8 +474,9 @@ class PlutoSession:
             dispatcher = ParallelDispatcher(engine, backend=self.backend)
             result = dispatcher.execute(calls, inputs, shards=shards)
         else:
+            compiled, structure_key = compile_cached_with_key(calls)
             result = self._controller(engine).execute(
-                compile_cached(calls), dict(inputs)
+                compiled, dict(inputs), structure_key=structure_key
             )
         result.optimization = report
         return result
@@ -455,12 +501,15 @@ class PlutoSession:
         the whole batch then executes the optimized program.
         """
         calls, _ = self._calls_for_run(optimize, engine)
-        compiled = compile_cached(calls)
+        compiled, structure_key = compile_cached_with_key(calls)
         controller = self._controller(engine)
         if not parallel:
             return BatchResult(
                 results=[
-                    controller.execute(compiled, dict(inputs)) for inputs in batch
+                    controller.execute(
+                        compiled, dict(inputs), structure_key=structure_key
+                    )
+                    for inputs in batch
                 ]
             )
         from repro.controller.dispatch import merged_makespan_ns
@@ -479,7 +528,12 @@ class PlutoSession:
                 stacklevel=2,
             )
         results = [
-            controller.execute(compiled, dict(inputs), bank=index % num_banks)
+            controller.execute(
+                compiled,
+                dict(inputs),
+                bank=index % num_banks,
+                structure_key=structure_key,
+            )
             for index, inputs in enumerate(jobs)
         ]
         makespan = merged_makespan_ns(
@@ -617,5 +671,8 @@ def execute_batch(
         if controller is None:
             controller = PlutoController(engine, backend=selection)
             controllers[key] = controller
-        results.append(controller.execute(session.compile(), dict(inputs)))
+        compiled, structure_key = compile_cached_with_key(session.calls)
+        results.append(
+            controller.execute(compiled, dict(inputs), structure_key=structure_key)
+        )
     return BatchResult(results=results)

@@ -1,0 +1,648 @@
+"""Whole-program compiled execution: the program-level JIT tier.
+
+The vectorized backend already turns each LUT query into one NumPy
+gather, but the controller still *walks* the program op by op — an
+isinstance dispatch, a cost-accounting call, and a values-dict update per
+instruction.  For small-element serving programs that per-instruction
+Python overhead dominates the wall clock.  This module removes it: an
+optimized :class:`~repro.compiler.lowering.CompiledProgram` is lowered
+**once** into a single generated Python function whose body is the
+straight-line chain of NumPy gathers, shift-ORs, moves, and bitwise
+kernels — every gather array, mask constant, operand slot, and output
+selection resolved at compile time — and the resulting closure is cached
+process-wide on the program structure key like every other warm-state
+layer (:func:`compiled_exec_cached`).
+
+Cost accounting is untouched: the controller realizes the program's
+cached :class:`~repro.controller.executor.TraceTemplate` alongside the
+closure, so a compiled execution's command trace is bit-identical to the
+interpreted route's by construction.  The ``"functional"`` backend stays
+interpreted on purpose — it is the bit-exactness oracle the differential
+suites compare both fast tiers against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.compiler.lowering import CompiledProgram
+from repro.core.lut import gather_array
+from repro.errors import ExecutionError, LUTError
+from repro.isa.instructions import (
+    BitwiseKind,
+    PlutoBitShift,
+    PlutoBitwise,
+    PlutoByteShift,
+    PlutoMove,
+    PlutoOp,
+    PlutoRowAlloc,
+    PlutoSubarrayAlloc,
+    ShiftDirection,
+)
+from repro.utils.bitops import mask_of
+from repro.utils.memo import BoundedMemo
+
+__all__ = [
+    "CompiledExecutable",
+    "compile_program",
+    "compiled_exec_cached",
+    "compiled_exec_stats",
+    "clear_compiled_programs",
+]
+
+
+class CompiledExecutable:
+    """One program structure lowered to a straight-line NumPy closure.
+
+    The closure takes a slot list ``V`` (row-register index -> value
+    array), runs the whole program without touching the instruction
+    stream, and returns the final value of every vector-bound register.
+    Executables depend only on program structure and LUT contents — not
+    on the engine, bank, or backend instance — so one instance serves
+    every controller in the process.
+    """
+
+    __slots__ = (
+        "source",
+        "num_slots",
+        "input_slots",
+        "zero_specs",
+        "final_slots",
+        "output_bindings",
+        "register_bindings",
+        "copy_finals",
+        "input_checks",
+        "required_inputs",
+        "supports_fused",
+        "lut_queries",
+        "instructions",
+        "_fn",
+        "_serve",
+    )
+
+    def __init__(
+        self,
+        *,
+        fn: Callable[[list], tuple],
+        serve: "Callable[[dict], tuple | None]",
+        source: str,
+        num_slots: int,
+        input_slots: dict[str, int],
+        zero_specs: tuple[tuple[int, int], ...],
+        final_slots: tuple[int, ...],
+        output_bindings: tuple[tuple[str, int], ...],
+        register_bindings: tuple[tuple[str, int], ...],
+        copy_finals: tuple[bool, ...],
+        input_checks: dict[str, tuple[int, int, int]],
+        required_inputs: tuple[tuple[str, int], ...],
+        supports_fused: bool,
+        lut_queries: int,
+        instructions: int,
+    ) -> None:
+        #: Generated Python source of the closure (for debugging/tests).
+        self.source = source
+        self.num_slots = num_slots
+        #: Vector name -> row-register slot callers may seed.
+        self.input_slots = input_slots
+        #: ``(slot, size_elements)`` for every register that must start
+        #: zeroed when the caller does not seed it (read before any
+        #: write, or never written at all) — matching the interpreted
+        #: path, which zero-creates every allocated row.
+        self.zero_specs = zero_specs
+        #: Row-register slot behind each position of the returned tuple.
+        self.final_slots = final_slots
+        #: ``(vector name, position in finals)`` for program outputs.
+        self.output_bindings = output_bindings
+        #: ``(vector name, position in finals)`` for the register snapshot.
+        self.register_bindings = register_bindings
+        #: Per-finals-position: whether the result must be defensively
+        #: copied.  Positions whose slot is rebound by the closure hold
+        #: freshly created arrays nothing else references, so the
+        #: controller hands them out directly; only never-rebound slots
+        #: (whose final array may be the caller's seeded input) get the
+        #: interpreted path's defensive copy.
+        self.copy_finals = copy_finals
+        #: Vector name -> ``(size_elements, max_value, bit_width)`` for
+        #: external inputs, validated while seeding (one pass instead of
+        #: the interpreted route's separate ``_check_inputs`` walk).
+        self.input_checks = input_checks
+        #: ``(name, slot)`` of every external input that must be seeded.
+        self.required_inputs = required_inputs
+        #: Stacked ``(shards, size)`` execution is only valid when no
+        #: move writes across different-size rows (a partial-row copy is
+        #: a 1-D slice assignment that has no stacked equivalent).
+        self.supports_fused = supports_fused
+        self.lut_queries = lut_queries
+        self.instructions = instructions
+        self._fn = fn
+        self._serve = serve
+
+    def run_serve(
+        self, inputs: dict[str, np.ndarray]
+    ) -> "tuple[dict, dict] | None":
+        """The fully generated serving path: ``(outputs, registers)``.
+
+        The generated function validates, seeds, executes, and assembles
+        the result dicts in specialized straight-line code.  It only
+        handles the common shape — ``inputs`` naming exactly the
+        program's external vectors — and returns ``None`` otherwise, in
+        which case the caller takes :meth:`run_finals`.
+        """
+        try:
+            return self._serve(inputs)
+        except IndexError as error:
+            raise LUTError(
+                f"compiled LUT query index out of range: {error}"
+            ) from None
+
+    def run_finals(
+        self, inputs: dict[str, np.ndarray], *, shards: int | None = None
+    ) -> tuple[np.ndarray, ...]:
+        """Seed inputs, zero-init the rest, and run the closure.
+
+        Returns the final value array of every vector-bound register, in
+        :attr:`final_slots` order.  With ``shards`` the same closure runs
+        over stacked ``(shards, size)`` arrays — one gather per LUT query
+        for the whole batch (the fused path) — and input validation is
+        skipped: the fused caller has already size-checked the stacked
+        arrays.  Without ``shards``, inputs are validated in the
+        interpreted path's exact order (external missing/size/width
+        checks on the caller's dtype, then unknown names) while they are
+        seeded.
+        """
+        slots = self.input_slots
+        values: list = [None] * self.num_slots
+        if shards is None:
+            checks = self.input_checks
+            for name, slot in self.required_inputs:
+                if name not in inputs:
+                    raise ExecutionError(
+                        f"missing input data for external vector {name!r}"
+                    )
+                data = np.asarray(inputs[name])
+                size, limit, bits = checks[name]
+                if data.size != size:
+                    raise ExecutionError(
+                        f"input {name!r} has {data.size} elements, "
+                        f"expected {size}"
+                    )
+                if data.size and int(data.max()) > limit:
+                    raise ExecutionError(
+                        f"input {name!r} contains values wider than "
+                        f"{bits} bits"
+                    )
+                values[slot] = np.asarray(data, dtype=np.uint64)
+            for name, data in inputs.items():
+                slot = slots.get(name)
+                if slot is None:
+                    raise ExecutionError(
+                        f"input {name!r} is not a vector of this program"
+                    )
+                if values[slot] is None:
+                    values[slot] = np.asarray(data, dtype=np.uint64)
+            for slot, size in self.zero_specs:
+                if values[slot] is None:
+                    values[slot] = np.zeros(size, dtype=np.uint64)
+        else:
+            for name, data in inputs.items():
+                slot = slots.get(name)
+                if slot is None:
+                    raise ExecutionError(
+                        f"input {name!r} is not a vector of this program"
+                    )
+                values[slot] = np.asarray(data, dtype=np.uint64)
+            if not self.supports_fused:
+                raise ExecutionError(
+                    "program moves between different-size rows; fused "
+                    "compiled execution is unavailable"
+                )
+            for slot, size in self.zero_specs:
+                if values[slot] is None:
+                    values[slot] = np.zeros((shards, size), dtype=np.uint64)
+        try:
+            return self._fn(values)
+        except IndexError as error:
+            raise LUTError(
+                f"compiled LUT query index out of range: {error}"
+            ) from None
+
+
+def _raise_lut_bounds(index: int, entries: int, name: str) -> None:
+    """Raise the vectorized backend's LUT bounds error (generated code)."""
+    raise LUTError(
+        f"query index {index} outside the {entries}-entry LUT {name!r}"
+    )
+
+
+def _bitwise_expression(
+    kind: BitwiseKind, a: str, b: str | None, mask: str
+) -> str:
+    """The NumPy expression matching ``ExecutionBackend.bitwise`` exactly."""
+    if kind is BitwiseKind.NOT:
+        return f"(~{a}) & {mask}"
+    if b is None:
+        raise ExecutionError(f"bitwise {kind.value} needs two source rows")
+    if kind is BitwiseKind.AND:
+        return f"({a} & {b}) & {mask}"
+    if kind is BitwiseKind.OR:
+        return f"({a} | {b}) & {mask}"
+    if kind is BitwiseKind.XOR:
+        return f"({a} ^ {b}) & {mask}"
+    if kind is BitwiseKind.XNOR:
+        return f"(~({a} ^ {b})) & {mask}"
+    if kind is BitwiseKind.NAND:
+        return f"(~({a} & {b})) & {mask}"
+    if kind is BitwiseKind.NOR:
+        return f"(~({a} | {b})) & {mask}"
+    raise ExecutionError(f"unsupported bitwise kind {kind}")
+
+
+def _lower(compiled: CompiledProgram) -> CompiledExecutable:
+    """Generate and compile the whole-program closure."""
+    env: dict[str, object] = {"I": np.intp, "EL": _raise_lut_bounds}
+    #: Two variants of the program body are generated.  ``safe_lines``
+    #: (the ``__pluto_program__`` closure behind run_finals and fused
+    #: execution) carries an inline LUT bounds check wherever the source
+    #: slot's provable value bound can reach the table size.  The serve
+    #: entry point validates every external's *converted* uint64 values
+    #: against the width mask and bails out otherwise, so ``fast_lines``
+    #: may additionally treat external inputs as width-bounded — which
+    #: elides every check in 8-bit serving programs.
+    fast_lines: list[str] = []
+    safe_lines: list[str] = []
+    sizes: dict[int, int] = {}
+    #: slot -> "read" | "write": whether the first reference consumes the
+    #: register's prior value (then it must start zeroed) or replaces it.
+    first_event: dict[int, str] = {}
+    row_slots: set[int] = set()
+    masks: dict[int, str] = {}
+    shift_consts: dict[int, str] = {}
+    lut_queries = 0
+    instructions = 0
+    supports_fused = True
+
+    #: Slots rebound by a plain assignment: their final array is created
+    #: inside the closure, so the controller can skip the defensive copy.
+    rebound: set[int] = set()
+
+    #: slot -> provable upper bound on its values at the current program
+    #: point, per body variant.  The program is straight-line, so a
+    #: single forward pass gives exact bounds: LUT results are bounded by
+    #: the table's actual maximum, bitwise/shift results by the mask they
+    #: apply.  Any vector-bound slot that is read before a write can be
+    #: seeded by the caller; ``run_finals`` width-checks externals on the
+    #: caller's dtype (a signed ``-1`` passes and wraps huge as uint64,
+    #: matching the interpreted route), so the safe variant treats every
+    #: seedable slot as unbounded.  The serve path re-validates converted
+    #: values, so its variant bounds externals by their width mask.
+    fast_bounds: dict[int, int] = {}
+    safe_bounds: dict[int, int] = {}
+    table_max: dict[int, int] = {}
+    vector_slots = {
+        register.index for register in compiled.vector_bindings.values()
+    }
+    external_limits = {
+        compiled.vector_bindings[vector.name].index: mask_of(
+            min(64, vector.bit_width)
+        )
+        for vector in compiled.external_inputs
+    }
+
+    def init_bounds(register) -> None:
+        slot = register.index
+        if slot not in safe_bounds:
+            seedable = slot in vector_slots
+            safe_bounds[slot] = mask_of(64) if seedable else 0
+            limit = external_limits.get(slot)
+            if limit is None:
+                limit = mask_of(64) if seedable else 0
+            fast_bounds[slot] = limit
+
+    def set_bounds(register, value: int) -> None:
+        fast_bounds[register.index] = value
+        safe_bounds[register.index] = value
+
+    def emit(line: str) -> None:
+        fast_lines.append(line)
+        safe_lines.append(line)
+
+    def read(register) -> str:
+        first_event.setdefault(register.index, "read")
+        init_bounds(register)
+        return f"r{register.index}"
+
+    def write(register) -> str:
+        first_event.setdefault(register.index, "write")
+        rebound.add(register.index)
+        return f"r{register.index}"
+
+    def mask_const(width: int) -> str:
+        width = min(64, width)
+        name = masks.get(width)
+        if name is None:
+            name = f"M{width}"
+            masks[width] = name
+            env[name] = np.uint64(mask_of(width))
+        return name
+
+    def shift_const(amount: int) -> str:
+        name = shift_consts.get(amount)
+        if name is None:
+            name = f"C{amount}"
+            shift_consts[amount] = name
+            env[name] = np.uint64(amount)
+        return name
+
+    for instruction in compiled.program:
+        instructions += 1
+        if isinstance(instruction, PlutoRowAlloc):
+            slot = instruction.destination.index
+            row_slots.add(slot)
+            sizes[slot] = instruction.size_elements
+        elif isinstance(instruction, PlutoSubarrayAlloc):
+            index = instruction.destination.index
+            table = gather_array(compiled.lut_bindings[index])
+            env[f"T{index}"] = table
+            table_max[index] = int(table.max()) if table.size else 0
+        elif isinstance(instruction, PlutoOp):
+            lut_queries += 1
+            source = read(instruction.source)
+            lut_index = instruction.lut_subarray.index
+            lut = compiled.lut_bindings[lut_index]
+            # The vectorized backend raises LUTError when any index
+            # reaches the table size.  The forward value-bound pass makes
+            # that check free in the common case: when the source slot's
+            # provable bound already fits inside the table the check is
+            # elided entirely, otherwise the exact interpreted check (and
+            # message) is generated inline.  This also closes the intp
+            # wrap window — indices in [2^64 - entries, 2^64) would view
+            # as valid negative offsets, but they can only occur on
+            # unbounded slots, which always carry the guard.
+            entries = lut.num_entries
+            guard = (
+                f"if {source}.size and int({source}.max()) >= {entries}: "
+                f"EL(int({source}.max()), {entries}, {lut.name!r})"
+            )
+            for variant in (fast_bounds, safe_bounds):
+                if variant[instruction.source.index] >= entries:
+                    (fast_lines if variant is fast_bounds else safe_lines).append(guard)
+                    variant[instruction.source.index] = entries - 1
+            # The uint64 indices are bit-reinterpreted as intp (a free,
+            # itemsize-preserving view) because NumPy's intp gather is
+            # measurably faster than uint64 fancy indexing or ``take``.
+            # The interpreted path's post-gather mask is omitted because
+            # it is a no-op: LookupTable validates every stored value
+            # against mask_of(element_bits) at construction.
+            emit(
+                f"{write(instruction.destination)} = "
+                f"T{lut_index}[{source}.view(I)]"
+            )
+            set_bounds(instruction.destination, table_max[lut_index])
+        elif isinstance(instruction, PlutoBitwise):
+            a = read(instruction.source1)
+            b = (
+                read(instruction.source2)
+                if instruction.source2 is not None
+                else None
+            )
+            expression = _bitwise_expression(
+                instruction.kind,
+                a,
+                b,
+                mask_const(instruction.destination.bit_width),
+            )
+            emit(f"{write(instruction.destination)} = {expression}")
+            set_bounds(
+                instruction.destination,
+                mask_of(min(64, instruction.destination.bit_width)),
+            )
+        elif isinstance(instruction, (PlutoBitShift, PlutoByteShift)):
+            amount = instruction.amount
+            if isinstance(instruction, PlutoByteShift):
+                amount *= 8
+            target = read(instruction.target)
+            slot = instruction.target.index
+            name = write(instruction.target)
+            if instruction.direction is ShiftDirection.LEFT:
+                emit(
+                    f"{name} = ({target} << {shift_const(amount)}) "
+                    f"& {mask_const(instruction.target.bit_width)}"
+                )
+                set_bounds(
+                    instruction.target,
+                    mask_of(min(64, instruction.target.bit_width)),
+                )
+            else:
+                emit(f"{name} = {target} >> {shift_const(amount)}")
+                if amount < 64:  # a wider shift is not a defined uint64 op
+                    fast_bounds[slot] >>= amount
+                    safe_bounds[slot] >>= amount
+        elif isinstance(instruction, PlutoMove):
+            source = read(instruction.source)
+            destination = instruction.destination
+            if destination.size_elements > instruction.source.size_elements:
+                # Partial overwrite keeps the destination's tail, exactly
+                # like the in-place slice write of ``backend.move``; a
+                # stacked array has no 1-D equivalent, so such programs
+                # fall back to the interpreted walk when fused.
+                target = read(destination)
+                emit(
+                    f"{target}[:{instruction.source.size_elements}] = {source}"
+                )
+                supports_fused = False
+                for variant in (fast_bounds, safe_bounds):
+                    variant[destination.index] = max(
+                        variant[destination.index],
+                        variant[instruction.source.index],
+                    )
+            else:
+                emit(f"{write(destination)} = {source}.copy()")
+                for variant in (fast_bounds, safe_bounds):
+                    variant[destination.index] = variant[
+                        instruction.source.index
+                    ]
+        else:
+            raise ExecutionError(
+                f"unsupported instruction {type(instruction).__name__}"
+            )
+
+    num_slots = max(row_slots) + 1 if row_slots else 0
+    zero_specs = tuple(
+        (slot, sizes[slot])
+        for slot in sorted(row_slots)
+        if first_event.get(slot) != "write"
+    )
+
+    binding_items = tuple(compiled.vector_bindings.items())
+    final_slots = tuple(
+        dict.fromkeys(register.index for _, register in binding_items)
+    )
+    position = {slot: index for index, slot in enumerate(final_slots)}
+    output_bindings = tuple(
+        (vector.name, position[compiled.vector_bindings[vector.name].index])
+        for vector in compiled.outputs
+    )
+    register_bindings = tuple(
+        (name, position[register.index]) for name, register in binding_items
+    )
+    copy_finals = tuple(slot not in rebound for slot in final_slots)
+    input_checks = {
+        vector.name: (
+            vector.size,
+            mask_of(min(64, vector.bit_width)),
+            vector.bit_width,
+        )
+        for vector in compiled.external_inputs
+    }
+    required_inputs = tuple(
+        (vector.name, compiled.vector_bindings[vector.name].index)
+        for vector in compiled.external_inputs
+    )
+
+    unpack = ", ".join(f"r{slot}" for slot in range(num_slots))
+    unpack_line = f"({unpack},) = V" if num_slots else "pass"
+    returns = ", ".join(f"r{slot}" for slot in final_slots)
+    returns_expr = f"({returns},)" if final_slots else "()"
+    body = "\n    ".join(safe_lines) if safe_lines else "pass"
+
+    # The specialized serving entry point: validation, seeding,
+    # zero-init, program body, and result-dict assembly all generated as
+    # one straight-line function over the inputs dict.  It handles only
+    # the common case — inputs naming exactly the external vectors, with
+    # every *converted* uint64 value inside its width mask (a signed
+    # negative wraps huge and fails that test) — and bails to the
+    # generic run_finals path (``return None``) otherwise, which redoes
+    # validation with the interpreted route's exact checks and errors.
+    # Inside the fast path the width test doubles as the proof that the
+    # fast body's external value bounds hold.
+    env.update(A=np.asarray, U=np.uint64, Z=np.zeros)
+    external_slots = set()
+    serve_lines = [f"if len(inputs) != {len(compiled.external_inputs)}:", "    return None"]
+    for vector in compiled.external_inputs:
+        slot = compiled.vector_bindings[vector.name].index
+        external_slots.add(slot)
+        limit = mask_of(min(64, vector.bit_width))
+        serve_lines += [
+            f"d = inputs.get({vector.name!r})",
+            "if d is None:",
+            "    return None",
+            f"r{slot} = A(d, U)",
+            f"if r{slot}.size != {vector.size} or (r{slot}.size and r{slot}.max() > {limit}):",
+            "    return None",
+        ]
+    for slot, size in zero_specs:
+        if slot not in external_slots:
+            serve_lines.append(f"r{slot} = Z({size}, U)")
+    serve_lines.extend(fast_lines)
+    register_exprs = ", ".join(
+        f"{name!r}: r{register.index}"
+        + ("" if register.index in rebound else ".copy()")
+        for name, register in binding_items
+    )
+    output_exprs = ", ".join(
+        f"{vector.name!r}: R[{vector.name!r}]" for vector in compiled.outputs
+    )
+    serve_lines += [f"R = {{{register_exprs}}}", f"return ({{{output_exprs}}}, R)"]
+    serve_body = "\n    ".join(serve_lines)
+
+    source = (
+        "def __pluto_program__(V):\n"
+        f"    {unpack_line}\n"
+        f"    {body}\n"
+        f"    return {returns_expr}\n"
+        "\n"
+        "def __pluto_serve__(inputs):\n"
+        f"    {serve_body}\n"
+    )
+    exec(compile(source, "<pluto-compiled>", "exec"), env)
+    return CompiledExecutable(
+        fn=env["__pluto_program__"],  # type: ignore[arg-type]
+        serve=env["__pluto_serve__"],  # type: ignore[arg-type]
+        source=source,
+        num_slots=num_slots,
+        input_slots={
+            name: register.index for name, register in binding_items
+        },
+        zero_specs=zero_specs,
+        final_slots=final_slots,
+        output_bindings=output_bindings,
+        register_bindings=register_bindings,
+        copy_finals=copy_finals,
+        input_checks=input_checks,
+        required_inputs=required_inputs,
+        supports_fused=supports_fused,
+        lut_queries=lut_queries,
+        instructions=instructions,
+    )
+
+
+def compile_program(
+    compiled: CompiledProgram, backend: "str | object" = "vectorized"
+) -> CompiledExecutable:
+    """Lower a compiled program into one whole-program NumPy closure.
+
+    ``backend`` names the execution tier the closure replaces; only
+    batched-capable backends (the vectorized tier) can be compiled — the
+    functional backend deliberately stays interpreted so it remains the
+    bit-exactness oracle the fast tiers are differentially tested
+    against.
+    """
+    from repro.backend.base import resolve_backend
+
+    resolved = resolve_backend(backend)  # type: ignore[arg-type]
+    if not resolved.supports_batched:
+        raise ExecutionError(
+            f"backend {resolved.name!r} cannot host compiled execution; "
+            "it is kept interpreted as the bit-exactness oracle"
+        )
+    return _lower(compiled)
+
+
+#: Cached compile *failures*: programs whose structure cannot lower (an
+#: unsupported instruction) are remembered so the controller stops
+#: re-attempting them on every execution.
+_UNSUPPORTED = object()
+
+#: Structure key -> CompiledExecutable (or the unsupported sentinel).
+_COMPILED_MEMO: BoundedMemo[object] = BoundedMemo(512)
+
+
+def compiled_exec_cached(
+    compiled: CompiledProgram, *, structure_key: tuple | None
+) -> CompiledExecutable | None:
+    """The memoized executable for a program structure.
+
+    Returns ``None`` when the program cannot take the compiled tier —
+    no usable structure key, or a structure that failed to lower (the
+    failure is cached too) — and the caller falls back to interpreted
+    execution.
+    """
+    if structure_key is None:
+        _COMPILED_MEMO.note_uncached()
+        return None
+    try:
+        cached = _COMPILED_MEMO.get(structure_key)
+    except TypeError:
+        _COMPILED_MEMO.note_uncached()
+        return None
+    if cached is not None:
+        return None if cached is _UNSUPPORTED else cached  # type: ignore[return-value]
+    try:
+        executable = _lower(compiled)
+    except Exception:
+        _COMPILED_MEMO.put(structure_key, _UNSUPPORTED)
+        return None
+    _COMPILED_MEMO.put(structure_key, executable)
+    return executable
+
+
+def compiled_exec_stats() -> dict[str, int]:
+    """Hit/miss counters and size of the compiled-closure cache."""
+    return _COMPILED_MEMO.stats()
+
+
+def clear_compiled_programs() -> None:
+    """Drop every cached whole-program closure and reset the counters."""
+    _COMPILED_MEMO.clear()

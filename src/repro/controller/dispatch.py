@@ -60,6 +60,7 @@ __all__ = [
     "rank_scheduler",
     "rank_scheduler_key",
     "engine_helper_cache_stats",
+    "clear_engine_helper_caches",
 ]
 
 
@@ -137,6 +138,20 @@ def engine_helper_cache_stats() -> dict[str, dict[str, int]]:
             "size": info.currsize,
         }
     return stats
+
+
+def clear_engine_helper_caches() -> None:
+    """Drop the cached pure per-engine helpers (and the throttled timings)."""
+    from repro.controller.hierarchy import _interleaved_bank_order
+
+    for cached in (
+        _sweep_act_interval,
+        _sweep_tail,
+        _sweep_acts,
+        _throttled_timing,
+        _interleaved_bank_order,
+    ):
+        cached.cache_clear()
 
 
 @lru_cache(maxsize=None)

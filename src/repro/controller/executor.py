@@ -76,10 +76,17 @@ class TraceTemplate:
 
     def realize(self, timing, energy, *, bank: int) -> CommandTrace:
         """A concrete trace of this template placed in ``bank``."""
+        if bank == 0:
+            # Templates are recorded against bank 0, and Command is
+            # frozen, so placement there shares the command objects
+            # instead of rewriting every one.
+            commands = list(self.commands)
+        else:
+            commands = [replace(command, bank=bank) for command in self.commands]
         return CommandTrace(
             timing=timing,
             energy=energy,
-            commands=[replace(command, bank=bank) for command in self.commands],
+            commands=commands,
             total_latency_ns=self.total_latency_ns,
             total_energy_nj=self.total_energy_nj,
         )
@@ -133,16 +140,33 @@ class PlutoController:
     :class:`ExecutionBackend` instance.  The controller reuses the same
     backend instance across executions, which lets batched sessions share
     cached LUT gather arrays.
+
+    ``jit`` (default on) enables the whole-program compiled tier
+    (:mod:`repro.backend.compiled`): executions that arrive with a
+    program ``structure_key`` on a batched-capable backend run through
+    one cached NumPy closure instead of the per-instruction interpreter
+    — bit-identical outputs and traces, no per-op Python dispatch.  Pass
+    ``jit=False`` to pin the interpreted vectorized path (the compiled
+    tier's own differential oracle).
     """
 
     def __init__(
         self,
         engine: PlutoEngine | None = None,
         backend: str | ExecutionBackend = "functional",
+        *,
+        jit: bool = True,
     ) -> None:
         self.engine = engine if engine is not None else PlutoEngine(PlutoConfig())
         self.rom = CommandRom()
         self.backend = resolve_backend(backend)
+        self.jit = jit
+        #: Executable -> ``(TraceTemplate, realized bank-0 trace)``.
+        #: Identity-keyed (CompiledExecutable has no __eq__), so repeated
+        #: compiled executions skip both the structure-key rehash and the
+        #: engine-config hash; the controller's engine never changes, so
+        #: the entry stays valid for the executable's lifetime.
+        self._jit_entries: dict = {}
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -153,6 +177,7 @@ class PlutoController:
         inputs: dict[str, np.ndarray],
         *,
         bank: int = 0,
+        structure_key: tuple | None = None,
     ) -> ExecutionResult:
         """Run a compiled program with the given external input vectors.
 
@@ -162,13 +187,38 @@ class PlutoController:
         program is placed in: the sharded dispatcher runs one program
         replica per bank, and every command in the trace carries the bank
         so the scheduler can model cross-bank tRRD/tFAW contention.
+
+        ``structure_key`` is the program-structure key the program was
+        compiled under; with it (on a batched-capable backend, unless
+        ``jit=False``) the execution takes the whole-program compiled
+        tier: one cached NumPy closure performs every functional effect
+        and the trace is realized from the cached template — bit-identical
+        to the interpreted walk below by construction.
         """
-        self._check_inputs(compiled, inputs)
         geometry = self.engine.geometry
         if not 0 <= bank < geometry.banks:
             raise ExecutionError(
                 f"bank {bank} outside the module's range [0, {geometry.banks})"
             )
+        if self.jit and structure_key is not None:
+            # Fast path: reuse the executable pinned on the program by a
+            # prior resolution; fall into the memo only when unseen.
+            executable = compiled.__dict__.get("_jit_executable")
+            if executable is None:
+                executable = self._compiled_executable(compiled, structure_key)
+            elif executable is False or not self.backend.supports_batched:
+                executable = None
+            if executable is not None:
+                # Input validation happens inside run_finals (same rules
+                # as _check_inputs, fused into the seeding pass).
+                return self._execute_compiled(
+                    executable,
+                    compiled,
+                    inputs,
+                    bank=bank,
+                    structure_key=structure_key,
+                )
+        self._check_inputs(compiled, inputs)
         table = AllocationTable(geometry, bank=bank)
         trace = CommandTrace(timing=self.engine.timing, energy=self.engine.energy)
         cost_model: PlutoCostModel = self.engine.cost_model
@@ -239,6 +289,90 @@ class PlutoController:
             instructions_executed=executed,
             registers=registers,
             backend=backend.name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Whole-program compiled execution (the JIT tier)
+    # ------------------------------------------------------------------ #
+    def _compiled_executable(
+        self, compiled: CompiledProgram, structure_key: tuple | None
+    ):
+        """The memoized whole-program closure, when the JIT tier applies.
+
+        The tier requires an explicit opt-in signal (a structure key), a
+        batched-capable backend, and ``jit=True``; the functional oracle
+        and keyless executions keep the interpreted walk.  The resolved
+        executable (or its absence) is pinned on the ``CompiledProgram``
+        object so repeated executions of a cached program skip the
+        structure-key rehash; the bounded memo stays the authoritative,
+        stats-surfaced store keyed by structure.
+        """
+        if not self.jit or structure_key is None:
+            return None
+        if not self.backend.supports_batched:
+            return None
+        pinned = compiled.__dict__.get("_jit_executable")
+        if pinned is not None:
+            return pinned or None
+        from repro.backend.compiled import compiled_exec_cached
+
+        executable = compiled_exec_cached(compiled, structure_key=structure_key)
+        compiled.__dict__["_jit_executable"] = (
+            executable if executable is not None else False
+        )
+        return executable
+
+    def _execute_compiled(
+        self,
+        executable,
+        compiled: CompiledProgram,
+        inputs: dict[str, np.ndarray],
+        *,
+        bank: int,
+        structure_key: tuple | None,
+    ) -> ExecutionResult:
+        """Run the closure; accounting comes from the cached template."""
+        entry = self._jit_entries.get(executable)
+        if entry is None:
+            template = self.trace_template(compiled, structure_key=structure_key)
+            # The realized bank-0 trace is placement-independent and
+            # never mutated after execution, so it is shared across
+            # results like the template's frozen commands already are.
+            entry = (
+                template,
+                template.realize(self.engine.timing, self.engine.energy, bank=0),
+            )
+            if len(self._jit_entries) >= 512:
+                self._jit_entries.clear()
+            self._jit_entries[executable] = entry
+        template, trace0 = entry
+        served = executable.run_serve(inputs)
+        if served is not None:
+            outputs, registers = served
+        else:
+            finals = executable.run_finals(inputs)
+            # Closure-created finals are handed out directly (nothing
+            # else references them); only finals that may alias a
+            # caller-seeded array get the interpreted path's defensive
+            # copy.  Outputs share the register snapshot's arrays — both
+            # views of the same final.
+            copy = executable.copy_finals
+            registers = {}
+            for name, position in executable.register_bindings:
+                value = finals[position]
+                registers[name] = value.copy() if copy[position] else value
+            outputs = {
+                name: registers[name] for name, _ in executable.output_bindings
+            }
+        return ExecutionResult(
+            outputs=outputs,
+            trace=trace0
+            if bank == 0
+            else template.realize(self.engine.timing, self.engine.energy, bank=bank),
+            lut_queries=template.lut_queries,
+            instructions_executed=template.instructions_executed,
+            registers=registers,
+            backend=self.backend.name,
         )
 
     # ------------------------------------------------------------------ #
@@ -342,37 +476,47 @@ class PlutoController:
                 )
         self._check_stacked_inputs(compiled, inputs, shards)
         template = self.trace_template(compiled, structure_key=structure_key)
-        backend.begin_program(geometry, self.engine.config.design)
-
-        values: dict[int, np.ndarray] = {}
         register_by_vector = compiled.vector_bindings
-        for name, data in inputs.items():
-            register = register_by_vector[name]
-            values[register.index] = np.asarray(data, dtype=np.uint64)
 
-        for instruction in compiled.program:
-            if isinstance(instruction, PlutoRowAlloc):
-                if instruction.destination.index not in values:
-                    values[instruction.destination.index] = np.zeros(
-                        (shards, instruction.size_elements), dtype=np.uint64
+        executable = self._compiled_executable(compiled, structure_key)
+        if executable is not None and executable.supports_fused:
+            # The whole stacked batch runs through the compiled closure;
+            # only the per-shard result assembly below stays in Python.
+            finals = executable.run_finals(inputs, shards=shards)
+            values = {
+                slot: finals[position]
+                for position, slot in enumerate(executable.final_slots)
+            }
+        else:
+            backend.begin_program(geometry, self.engine.config.design)
+            values = {}
+            for name, data in inputs.items():
+                register = register_by_vector[name]
+                values[register.index] = np.asarray(data, dtype=np.uint64)
+
+            for instruction in compiled.program:
+                if isinstance(instruction, PlutoRowAlloc):
+                    if instruction.destination.index not in values:
+                        values[instruction.destination.index] = np.zeros(
+                            (shards, instruction.size_elements), dtype=np.uint64
+                        )
+                elif isinstance(instruction, PlutoSubarrayAlloc):
+                    backend.load_lut(
+                        instruction.destination.index,
+                        compiled.lut_bindings[instruction.destination.index],
                     )
-            elif isinstance(instruction, PlutoSubarrayAlloc):
-                backend.load_lut(
-                    instruction.destination.index,
-                    compiled.lut_bindings[instruction.destination.index],
-                )
-            elif isinstance(instruction, PlutoOp):
-                self._execute_lut_query_batched(instruction, compiled, values)
-            elif isinstance(instruction, PlutoBitwise):
-                self._execute_bitwise(instruction, values)
-            elif isinstance(instruction, (PlutoBitShift, PlutoByteShift)):
-                self._execute_shift(instruction, values)
-            elif isinstance(instruction, PlutoMove):
-                self._execute_move(instruction, values)
-            else:
-                raise ExecutionError(
-                    f"unsupported instruction {type(instruction).__name__}"
-                )
+                elif isinstance(instruction, PlutoOp):
+                    self._execute_lut_query_batched(instruction, compiled, values)
+                elif isinstance(instruction, PlutoBitwise):
+                    self._execute_bitwise(instruction, values)
+                elif isinstance(instruction, (PlutoBitShift, PlutoByteShift)):
+                    self._execute_shift(instruction, values)
+                elif isinstance(instruction, PlutoMove):
+                    self._execute_move(instruction, values)
+                else:
+                    raise ExecutionError(
+                        f"unsupported instruction {type(instruction).__name__}"
+                    )
 
         results: list[ExecutionResult] = []
         for shard, bank in enumerate(banks):

@@ -22,6 +22,7 @@ __all__ = [
     "LookupTable",
     "gather_array",
     "gather_cache_size",
+    "clear_gather_cache",
     "lut_from_function",
     "replicate_lut_rows",
     "concat_binary_lut",
@@ -51,6 +52,11 @@ def gather_array(lut: "LookupTable") -> np.ndarray:
 def gather_cache_size() -> int:
     """Number of distinct LUTs with a cached gather array."""
     return len(_GATHER_CACHE)
+
+
+def clear_gather_cache() -> None:
+    """Drop every cached gather array (they rebuild on demand)."""
+    _GATHER_CACHE.clear()
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,7 @@ from repro.evaluation.figures import (
     figure13_sharded_tfaw,
     figure13_tfaw_sensitivity,
     figure14_salp_scaling,
+    figure_execution_tiers,
     figure_hierarchy_scaling,
     figure_optimizer_gains,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "figure13_sharded_tfaw",
     "figure13_tfaw_sensitivity",
     "figure14_salp_scaling",
+    "figure_execution_tiers",
     "figure_hierarchy_scaling",
     "figure_optimizer_gains",
     "PLUTO_CONFIG_LABELS",

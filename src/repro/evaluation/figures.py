@@ -37,6 +37,7 @@ __all__ = [
     "figure13_tfaw_sensitivity",
     "figure13_sharded_tfaw",
     "figure14_salp_scaling",
+    "figure_execution_tiers",
     "figure_hierarchy_scaling",
     "figure_optimizer_gains",
 ]
@@ -605,4 +606,85 @@ def figure14_salp_scaling(
         for label, values in speedups.items():
             row[label] = geometric_mean(values)
         result.rows.append(row)
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Execution tiers — simulator latency per execution strategy
+# --------------------------------------------------------------------- #
+def figure_execution_tiers(
+    elements: int = 4096,
+    workloads: tuple[str, ...] = ("image", "salsa20"),
+    rounds: int = 5,
+) -> FigureResult:
+    """Wall-clock latency of one execution per simulator tier.
+
+    The same compiled serving programs run through the three execution
+    strategies — the functional row-sweep oracle, the per-instruction
+    interpreted vectorized walk, and the whole-program compiled closure —
+    with outputs compared bit for bit across all three.  The compiled
+    row is the per-op-Python-overhead gap this repository's JIT tier
+    closes; ``benchmarks/test_backend_speed.py`` gates its floor.
+    """
+    import time
+
+    from repro.api.session import compile_cached_with_key
+    from repro.controller.executor import PlutoController
+    from repro.workloads.programs import workload_program
+
+    engine = PlutoEngine(PlutoConfig(design=PlutoDesign.BSA))
+    tiers = {
+        "functional": PlutoController(engine, backend="functional"),
+        "interpreted": PlutoController(engine, backend="vectorized", jit=False),
+        "compiled": PlutoController(engine, backend="vectorized"),
+    }
+    result = FigureResult(
+        name="Execution tiers",
+        description=(
+            f"Per-tier simulator latency of the {elements}-element "
+            "serving programs"
+        ),
+    )
+    for name in workloads:
+        workload = workload_program(name, elements=elements, seed=0)
+        compiled, key = compile_cached_with_key(workload.session.calls)
+        latencies: dict[str, float] = {}
+        outputs: dict[str, dict] = {}
+        for tier, controller in tiers.items():
+            execution = controller.execute(
+                compiled, dict(workload.inputs), structure_key=key
+            )  # warm-up: caches, closures
+            reps = 1 if tier == "functional" else 30
+            best = float("inf")
+            for _ in range(1 if tier == "functional" else rounds):
+                start = time.perf_counter()
+                for _ in range(reps):
+                    execution = controller.execute(
+                        compiled, dict(workload.inputs), structure_key=key
+                    )
+                best = min(best, (time.perf_counter() - start) / reps)
+            latencies[tier] = best
+            outputs[tier] = execution.outputs
+        for tier in ("interpreted", "compiled"):
+            for output, data in outputs["functional"].items():
+                if not np.array_equal(outputs[tier][output], data):
+                    raise AssertionError(
+                        f"{name}: {tier} output {output!r} diverged from "
+                        "the functional oracle"
+                    )
+        result.rows.append(
+            {
+                "workload": name,
+                "elements": elements,
+                "functional_s": latencies["functional"],
+                "interpreted_s": latencies["interpreted"],
+                "compiled_s": latencies["compiled"],
+                "compiled_vs_interpreted": (
+                    latencies["interpreted"] / latencies["compiled"]
+                ),
+                "interpreted_vs_functional": (
+                    latencies["functional"] / latencies["interpreted"]
+                ),
+            }
+        )
     return result

@@ -204,7 +204,7 @@ class EvaluationHarness:
         configuration then compiles and executes the optimized program;
         each result carries the shared report as ``.optimization``.
         """
-        from repro.api.session import compile_cached
+        from repro.api.session import compile_cached_with_key
         from repro.controller.dispatch import ParallelDispatcher
         from repro.controller.executor import PlutoController
         from repro.errors import ConfigurationError
@@ -227,12 +227,14 @@ class EvaluationHarness:
                 results[label] = dispatcher.execute(calls, inputs, shards=shards)
                 results[label].optimization = report
             return results
-        compiled = compile_cached(calls)
+        compiled, structure_key = compile_cached_with_key(calls)
         for label, engine in self.engines.items():
             controller = self._controllers.get(label)
             if controller is None:
                 controller = PlutoController(engine, backend=self.backend)
                 self._controllers[label] = controller
-            results[label] = controller.execute(compiled, dict(inputs))
+            results[label] = controller.execute(
+                compiled, dict(inputs), structure_key=structure_key
+            )
             results[label].optimization = report
         return results

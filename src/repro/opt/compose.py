@@ -19,6 +19,7 @@ __all__ = [
     "can_compose",
     "compose_luts",
     "compose_cache_stats",
+    "clear_compose_cache",
     "MAX_COMPOSE_ENTRIES",
 ]
 
@@ -60,3 +61,8 @@ def compose_cache_stats() -> dict[str, int]:
     """Hit/miss counters of the composed-LUT cache."""
     info = compose_luts.cache_info()
     return {"hits": info.hits, "misses": info.misses, "size": info.currsize}
+
+
+def clear_compose_cache() -> None:
+    """Drop every memoized LUT composition."""
+    compose_luts.cache_clear()

@@ -238,6 +238,7 @@ class TestCacheStatsSurface:
             "hierarchy_schedules",
             "engine_helpers",
             "lut_gather_arrays",
+            "compiled_exec",
         }
         assert {"hits", "misses", "size"} <= set(stats["scheduler_merges"])
         assert stats is not cache_stats()  # fresh snapshots, not aliases

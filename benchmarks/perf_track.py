@@ -1,10 +1,11 @@
-"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr6.json``.
+"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr7.json``.
 
 CI's ``perf-track`` job calls this script.  It
 
 1. runs ``benchmarks/test_backend_speed.py`` (vectorized vs functional
-   wall-clock, plus the whole-program compiled tier vs the interpreted
-   vectorized walk), ``benchmarks/test_hierarchy_scaling.py`` (per-level
+   wall-clock, the whole-program compiled tier vs the interpreted
+   vectorized walk, and verified vs unverified serving),
+   ``benchmarks/test_hierarchy_scaling.py`` (per-level
    makespan decomposition + fused vs per-shard dispatch),
    ``benchmarks/test_scheduler_speed.py`` (event-driven vs
    memoized+analytic makespan throughput), and
@@ -13,13 +14,15 @@ CI's ``perf-track`` job calls this script.  It
 2. gates on the recorded floors — the PR 1-5 floors (vectorized backend
    speedup, hierarchy gain, per-level monotonicity, hierarchy-figure
    wall-clock budget, dispatch-fusion speedup, memoized-scheduling
-   speedup, optimizer sweep/makespan reduction) plus the PR 6 floor
+   speedup, optimizer sweep/makespan reduction), the PR 6 floor
    (compiled-tier speedup over the interpreted vectorized path on every
-   serving workload) — exiting non-zero on a regression so future PRs
-   cannot silently lose the fast paths;
-3. writes the combined record to ``BENCH_pr6.json``, including the
+   serving workload), and the PR 7 ceiling (static verification must
+   cost less than 5% of unverified serving wall-clock) — exiting
+   non-zero on a regression so future PRs cannot silently lose the fast
+   paths;
+3. writes the combined record to ``BENCH_pr7.json``, including the
    cross-PR wall-clock trajectory (carried forward from
-   ``BENCH_pr5.json`` when present — a missing or unreadable prior file
+   ``BENCH_pr6.json`` when present — a missing or unreadable prior file
    is warned about, not fatal), which CI uploads as an artifact.
 
 Run locally with:  python benchmarks/perf_track.py
@@ -38,7 +41,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCHMARKS = Path(__file__).resolve().parent
-PR = 6
+PR = 7
 
 
 def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, dict, float]:
@@ -153,6 +156,14 @@ def gate(backend: dict, hierarchy: dict, scheduler: dict, optimizer: dict) -> li
                 f"compiled-tier speedup {row['speedup']:.2f}x on {name} fell "
                 f"below the asserted floor {compiled_floor}x"
             )
+    verified = backend.get("verified_serving", {})
+    if verified:
+        overhead_ceiling = verified.get("max_overhead", 0.05)
+        if verified["overhead"] > overhead_ceiling:
+            failures.append(
+                f"verified serving costs {100 * verified['overhead']:.1f}% over "
+                f"unverified (allowed {100 * overhead_ceiling:.0f}%)"
+            )
     return failures
 
 
@@ -200,6 +211,9 @@ def trajectory(
             "compiled_tier_speedups": {
                 name: row["speedup"] for name, row in compiled_rows.items()
             },
+            "verified_serving_overhead": backend.get(
+                "verified_serving", {}
+            ).get("overhead"),
         }
     )
     return points
@@ -258,6 +272,12 @@ def main() -> None:
         print(
             f"compiled tier {speedups} "
             f"(floor {compiled.get('min_speedup', 5.0)}x)"
+        )
+    verified = backend.get("verified_serving", {})
+    if verified:
+        print(
+            f"verified serving {100 * verified['overhead']:+.1f}% "
+            f"(ceiling +{100 * verified.get('max_overhead', 0.05):.0f}%)"
         )
     if failures:
         for failure in failures:

@@ -44,6 +44,12 @@ COMPILED_ELEMENTS = 4096
 COMPILED_WORKLOADS = ("image", "salsa20")
 MIN_COMPILED_SPEEDUP = 5.0
 
+#: The PR 7 ceiling: serving with the static verifier on
+#: (``PlutoConfig(verify="always")``) may cost at most 5% wall-clock
+#: over unverified serving — verification reports are memoized on the
+#: program structure key, so a warm shape pays one dict hit per run.
+MAX_VERIFY_OVERHEAD = 0.05
+
 
 def _build_session() -> PlutoSession:
     session = PlutoSession()
@@ -178,3 +184,58 @@ def test_compiled_tier_floor():
             f"interpreted vectorized path on {name} "
             f"(required {MIN_COMPILED_SPEEDUP}x)"
         )
+
+
+def test_verified_serving_overhead():
+    """Serving with verify="always" stays within 5% of unverified serving.
+
+    Interleaved rounds (like the compiled-tier gate): each round times
+    ``reps`` runs under ``verify="off"`` then under ``verify="always"``,
+    and the gate uses the median per-round ratio so machine-state drift
+    moves both configurations together.
+    """
+    from repro.workloads.programs import workload_program
+
+    off = PlutoEngine(PlutoConfig(verify="off"))
+    on = PlutoEngine(PlutoConfig(verify="always"))
+    workload = workload_program("image", elements=COMPILED_ELEMENTS, seed=0)
+    session = workload.session
+    inputs = workload.inputs
+
+    # Warm everything both paths share (compile/closure caches) plus the
+    # verifier memo, so the rounds measure steady-state serving.
+    session.run(inputs, engine=off)
+    session.run(inputs, engine=on)
+
+    rounds, reps = 7, 30
+    ratios = []
+    off_best = on_best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(reps):
+            session.run(inputs, engine=off)
+        off_s = (time.perf_counter() - start) / reps
+        start = time.perf_counter()
+        for _ in range(reps):
+            session.run(inputs, engine=on)
+        on_s = (time.perf_counter() - start) / reps
+        off_best = min(off_best, off_s)
+        on_best = min(on_best, on_s)
+        ratios.append(on_s / max(off_s, 1e-12))
+
+    overhead = statistics.median(ratios) - 1.0
+    payload = {
+        "workload": "image",
+        "elements": COMPILED_ELEMENTS,
+        "unverified_s": off_best,
+        "verified_s": on_best,
+        "overhead": overhead,
+        "max_overhead": MAX_VERIFY_OVERHEAD,
+    }
+    print("VERIFIED_SERVING_JSON " + json.dumps(payload))
+    _merge_payload({"verified_serving": payload})
+
+    assert overhead <= MAX_VERIFY_OVERHEAD, (
+        f"verified serving costs {100 * overhead:.1f}% over unverified "
+        f"(allowed {100 * MAX_VERIFY_OVERHEAD:.0f}%)"
+    )

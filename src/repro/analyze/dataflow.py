@@ -1,0 +1,325 @@
+"""The shared forward abstract-interpretation pass over compiled programs.
+
+One walk over a straight-line :class:`~repro.compiler.lowering.CompiledProgram`
+computes, per row-register slot:
+
+* an **interval (value-bound) domain** — a provable upper bound on the
+  uint64 values the slot can hold at each program point (the lower bound
+  is always 0).  LUT results are bounded by the table's actual maximum,
+  bitwise/shift results by the mask they apply, moves propagate their
+  source's bound; and
+* a **bit-width / structural domain** — declared widths and sizes from
+  the allocs, whether the first reference to a slot reads it (so it must
+  start zeroed) or writes it, whether a slot is ever rebound by a plain
+  assignment, and whether the program is legal under stacked
+  ``(shards, size)`` fused execution (a partial-row move is not).
+
+This analysis started life as a private pass inside
+:mod:`repro.backend.compiled`, where it powers LUT bounds-check
+elimination in the generated closures; it is promoted here so the IR
+verifier (:mod:`repro.analyze.verifier`) and the optimizer reason from
+the *same* source of truth the code generator lowers against.
+
+``assume_external_width`` selects the input contract.  ``True`` models
+callers that validate every external's *converted* uint64 values against
+its declared width mask (the generated serve entry point does exactly
+that before running the fast body); ``False`` models callers that only
+width-check on the caller's dtype — a signed ``-1`` passes and wraps
+huge as uint64 — so every seedable slot is unbounded.  The program is
+straight-line, so a single forward pass gives exact bounds under either
+contract; the analysis also models the runtime LUT guards the code
+generator emits (``guard_needed``), refining a guarded source's bound to
+``entries - 1`` exactly as the generated check does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ExecutionError
+from repro.isa.instructions import (
+    PlutoBitShift,
+    PlutoBitwise,
+    PlutoByteShift,
+    PlutoMove,
+    PlutoOp,
+    PlutoRowAlloc,
+    PlutoSubarrayAlloc,
+    ShiftDirection,
+)
+from repro.utils.bitops import mask_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.compiler.lowering import CompiledProgram
+
+__all__ = ["InstructionFacts", "DataflowSummary", "analyze_dataflow"]
+
+#: Upper bound of an unconstrained uint64 slot.
+_UINT64_MAX = mask_of(64)
+
+
+@dataclass(frozen=True)
+class InstructionFacts:
+    """Dataflow facts at one instruction, under one input contract.
+
+    ``operand_bounds`` are the provable upper bounds of the row operands
+    *read* by the instruction, before it executes, in operand order
+    (for a partial-width move the overwritten destination is read too,
+    and appears after the source).  ``result_bound`` is the written
+    slot's bound after execution, ``None`` for instructions that write
+    no row register (allocs).  ``guard_needed`` is meaningful for
+    ``pluto_op`` only: whether a runtime LUT bounds check is required
+    because the source's provable bound reaches the table size.
+    """
+
+    index: int
+    operand_slots: tuple[int, ...] = ()
+    operand_bounds: tuple[int, ...] = ()
+    result_slot: int | None = None
+    result_bound: int | None = None
+    guard_needed: bool = False
+
+
+@dataclass(frozen=True)
+class DataflowSummary:
+    """Everything one forward pass proves about a compiled program."""
+
+    #: The input contract the value bounds hold under.
+    assume_external_width: bool
+    #: Per-instruction facts, aligned with the program's instructions.
+    facts: tuple[InstructionFacts, ...]
+    #: Row slot -> provable upper bound after the last instruction.
+    final_bounds: dict[int, int]
+    #: Row slot -> declared element count (from ``pluto_row_alloc``).
+    sizes: dict[int, int]
+    #: Row slot -> declared bit width (from ``pluto_row_alloc``).
+    widths: dict[int, int]
+    #: Row slot -> ``"read"``/``"write"``: whether the first reference
+    #: consumes the prior value (the slot must start zeroed) or replaces
+    #: it.
+    first_event: dict[int, str]
+    #: Slots rebound by a plain assignment (their final array is created
+    #: by the program, never aliased to a caller-seeded input).
+    rebound: frozenset[int]
+    #: Subarray slot -> maximum value stored in its bound table.
+    table_max: dict[int, int]
+    #: Whether stacked ``(shards, size)`` execution is legal: a move
+    #: into a wider row is a 1-D slice write with no stacked equivalent.
+    supports_fused: bool
+    #: Number of ``pluto_op`` instructions.
+    lut_queries: int
+    #: Total instruction count.
+    instructions: int
+
+    @property
+    def row_slots(self) -> tuple[int, ...]:
+        """Allocated row slots, ascending."""
+        return tuple(sorted(self.sizes))
+
+    def zero_specs(self) -> tuple[tuple[int, int], ...]:
+        """``(slot, size)`` for every slot that must start zeroed.
+
+        A slot whose first event is not a write is read before any write
+        (or never written): unless the caller seeds it, it must hold the
+        zeros the interpreted path creates at allocation.
+        """
+        return tuple(
+            (slot, self.sizes[slot])
+            for slot in self.row_slots
+            if self.first_event.get(slot) != "write"
+        )
+
+
+def analyze_dataflow(
+    compiled: "CompiledProgram", *, assume_external_width: bool = True
+) -> DataflowSummary:
+    """Run the forward value-bound / structure pass over ``compiled``.
+
+    Raises :class:`~repro.errors.ExecutionError` on instruction kinds
+    the straight-line IR does not contain (the same condition that makes
+    a program unlowerable); the verifier catches this case and reports
+    it as a diagnostic instead.
+    """
+    vector_slots = {
+        register.index for register in compiled.vector_bindings.values()
+    }
+    external_limits = {
+        compiled.vector_bindings[vector.name].index: mask_of(
+            min(64, vector.bit_width)
+        )
+        for vector in compiled.external_inputs
+        if vector.name in compiled.vector_bindings
+    }
+
+    bounds: dict[int, int] = {}
+    sizes: dict[int, int] = {}
+    widths: dict[int, int] = {}
+    first_event: dict[int, str] = {}
+    rebound: set[int] = set()
+    table_max: dict[int, int] = {}
+    facts: list[InstructionFacts] = []
+    supports_fused = True
+    lut_queries = 0
+
+    def read(slot: int) -> int:
+        """Note a read of ``slot`` and return its current upper bound."""
+        first_event.setdefault(slot, "read")
+        bound = bounds.get(slot)
+        if bound is None:
+            # First touch is a read: any vector-bound slot can be seeded
+            # by the caller.  Externals are width-bounded only under the
+            # validated-input contract; everything else seedable is
+            # unbounded there too (the serve path zero-inits it, but the
+            # bound must stay sound for *any* caller of the safe body).
+            if slot in vector_slots:
+                if assume_external_width:
+                    bound = external_limits.get(slot, _UINT64_MAX)
+                else:
+                    bound = _UINT64_MAX
+            else:
+                bound = 0
+            bounds[slot] = bound
+        return bound
+
+    def write(slot: int, bound: int) -> int:
+        first_event.setdefault(slot, "write")
+        rebound.add(slot)
+        bounds[slot] = bound
+        return bound
+
+    for index, instruction in enumerate(compiled.program):
+        if isinstance(instruction, PlutoRowAlloc):
+            slot = instruction.destination.index
+            sizes[slot] = instruction.size_elements
+            widths[slot] = instruction.bit_width
+            facts.append(InstructionFacts(index=index))
+        elif isinstance(instruction, PlutoSubarrayAlloc):
+            lut_slot = instruction.destination.index
+            table = compiled.lut_bindings.get(lut_slot)
+            if table is not None:
+                table_max[lut_slot] = (
+                    max(table.values) if table.values else 0
+                )
+            facts.append(InstructionFacts(index=index))
+        elif isinstance(instruction, PlutoOp):
+            lut_queries += 1
+            source_slot = instruction.source.index
+            source_bound = read(source_slot)
+            lut_slot = instruction.lut_subarray.index
+            table = compiled.lut_bindings.get(lut_slot)
+            entries = (
+                table.num_entries if table is not None else instruction.lut_size
+            )
+            # The runtime guard the code generator emits when the
+            # source's provable bound can reach the table size; after
+            # the guard, surviving values are provably in range.
+            guard_needed = source_bound >= entries
+            if guard_needed:
+                bounds[source_slot] = entries - 1
+            result_bound = table_max.get(lut_slot, 0)
+            destination = instruction.destination.index
+            write(destination, result_bound)
+            facts.append(
+                InstructionFacts(
+                    index=index,
+                    operand_slots=(source_slot,),
+                    operand_bounds=(source_bound,),
+                    result_slot=destination,
+                    result_bound=result_bound,
+                    guard_needed=guard_needed,
+                )
+            )
+        elif isinstance(instruction, PlutoBitwise):
+            operand_slots = [instruction.source1.index]
+            if instruction.source2 is not None:
+                operand_slots.append(instruction.source2.index)
+            operand_bounds = tuple(read(slot) for slot in operand_slots)
+            destination = instruction.destination.index
+            result_bound = mask_of(min(64, instruction.destination.bit_width))
+            write(destination, result_bound)
+            facts.append(
+                InstructionFacts(
+                    index=index,
+                    operand_slots=tuple(operand_slots),
+                    operand_bounds=operand_bounds,
+                    result_slot=destination,
+                    result_bound=result_bound,
+                )
+            )
+        elif isinstance(instruction, (PlutoBitShift, PlutoByteShift)):
+            amount = instruction.amount
+            if isinstance(instruction, PlutoByteShift):
+                amount *= 8
+            slot = instruction.target.index
+            bound = read(slot)
+            if instruction.direction is ShiftDirection.LEFT:
+                result_bound = mask_of(min(64, instruction.target.bit_width))
+            elif amount < 64:  # a wider shift is not a defined uint64 op
+                result_bound = bound >> amount
+            else:
+                result_bound = bound
+            write(slot, result_bound)
+            facts.append(
+                InstructionFacts(
+                    index=index,
+                    operand_slots=(slot,),
+                    operand_bounds=(bound,),
+                    result_slot=slot,
+                    result_bound=result_bound,
+                )
+            )
+        elif isinstance(instruction, PlutoMove):
+            source_slot = instruction.source.index
+            source_bound = read(source_slot)
+            destination = instruction.destination.index
+            if (
+                instruction.destination.size_elements
+                > instruction.source.size_elements
+            ):
+                # Partial overwrite keeps the destination's tail: the
+                # destination is read as well as written, it is not
+                # rebound (the write is an in-place slice assignment),
+                # and stacked fused execution has no equivalent.
+                destination_bound = read(destination)
+                result_bound = max(destination_bound, source_bound)
+                bounds[destination] = result_bound
+                supports_fused = False
+                facts.append(
+                    InstructionFacts(
+                        index=index,
+                        operand_slots=(source_slot, destination),
+                        operand_bounds=(source_bound, destination_bound),
+                        result_slot=destination,
+                        result_bound=result_bound,
+                    )
+                )
+            else:
+                write(destination, source_bound)
+                facts.append(
+                    InstructionFacts(
+                        index=index,
+                        operand_slots=(source_slot,),
+                        operand_bounds=(source_bound,),
+                        result_slot=destination,
+                        result_bound=source_bound,
+                    )
+                )
+        else:
+            raise ExecutionError(
+                f"unsupported instruction {type(instruction).__name__}"
+            )
+
+    return DataflowSummary(
+        assume_external_width=assume_external_width,
+        facts=tuple(facts),
+        final_bounds=dict(bounds),
+        sizes=sizes,
+        widths=widths,
+        first_event=first_event,
+        rebound=frozenset(rebound),
+        table_max=table_max,
+        supports_fused=supports_fused,
+        lut_queries=lut_queries,
+        instructions=len(facts),
+    )

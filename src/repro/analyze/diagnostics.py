@@ -1,0 +1,130 @@
+"""Structured diagnostics: what the verifier reports instead of raising.
+
+A :class:`Diagnostic` is one finding — severity, stable machine-readable
+code, the instruction (or call) index it anchors to, a human message,
+and a fix hint.  A :class:`VerificationReport` aggregates the findings
+of one verification run; callers that need an exception (the session and
+service front doors) use :meth:`VerificationReport.raise_if_errors`,
+which raises :class:`~repro.errors.VerificationError` carrying the
+error-severity diagnostics, so the message a user sees is built from the
+same records the tests assert on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import VerificationError
+
+__all__ = ["Severity", "Diagnostic", "VerificationReport"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make a program unexecutable or silently wrong
+    (the front doors reject on them); ``WARNING`` findings are legal but
+    suspicious — e.g. a value bound that *can* reach past a LUT, which
+    the backends guard at runtime instead of miscomputing.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding.
+
+    ``code`` is the stable identifier tests and tooling match on (e.g.
+    ``"use-before-def"``); ``instruction`` is the index of the offending
+    instruction or API call, or ``None`` for program-level findings.
+    """
+
+    severity: Severity
+    code: str
+    message: str
+    instruction: int | None = None
+    hint: str = ""
+
+    @property
+    def is_error(self) -> bool:
+        """Whether this finding blocks execution."""
+        return self.severity is Severity.ERROR
+
+    def render(self) -> str:
+        """One-line human rendering: ``error[code] @3: message (hint)``."""
+        where = f" @{self.instruction}" if self.instruction is not None else ""
+        hint = f" ({self.hint})" if self.hint else ""
+        return f"{self.severity.value}[{self.code}]{where}: {self.message}{hint}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Every finding of one verification run, in program order."""
+
+    diagnostics: tuple[Diagnostic, ...] = ()
+    #: What was verified (a workload name, ``"calls"``, ``"compiled"``).
+    subject: str = "program"
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        """The error-severity findings (what front doors reject on)."""
+        return tuple(d for d in self.diagnostics if d.is_error)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        """The warning-severity findings."""
+        return tuple(d for d in self.diagnostics if not d.is_error)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the program verified without errors."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """Whether the program verified without any finding at all."""
+        return not self.diagnostics
+
+    def codes(self) -> frozenset[str]:
+        """The set of finding codes, for coarse assertions."""
+        return frozenset(d.code for d in self.diagnostics)
+
+    def merged(self, other: "VerificationReport") -> "VerificationReport":
+        """This report and ``other`` as one (keeps this subject)."""
+        return VerificationReport(
+            diagnostics=self.diagnostics + other.diagnostics,
+            subject=self.subject,
+        )
+
+    def render(self) -> str:
+        """Multi-line human rendering of every finding."""
+        if not self.diagnostics:
+            return f"{self.subject}: clean"
+        lines = [d.render() for d in self.diagnostics]
+        return f"{self.subject}:\n" + "\n".join(f"  {line}" for line in lines)
+
+    def raise_if_errors(self) -> "VerificationReport":
+        """Raise :class:`VerificationError` when any finding is an error.
+
+        Returns ``self`` otherwise, so call sites can chain on it.
+        """
+        errors = self.errors
+        if errors:
+            raise VerificationError(errors, subject=self.subject)
+        return self

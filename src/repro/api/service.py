@@ -189,6 +189,13 @@ class PlutoService:
     structure, with the batch coalescing then keyed on the
     *post-optimization* structure so the compile, trace-template, and
     makespan caches all hit on the rewritten program.
+    ``verify=True`` (the default) statically verifies every request's
+    program at submission and rejects malformed ones with
+    :class:`~repro.errors.VerificationError` carrying the structured
+    diagnostics — *before* the request takes a queue slot, so a bad
+    program cannot crash the warm worker loop.  Verification reports
+    are memoized on the program structure key, so repeated request
+    shapes cost one dict hit.
     """
 
     def __init__(
@@ -201,6 +208,7 @@ class PlutoService:
         hierarchical: bool = False,
         shards: int | None = None,
         optimize: bool = False,
+        verify: bool = True,
     ) -> None:
         from repro.errors import ConfigurationError
 
@@ -215,6 +223,7 @@ class PlutoService:
         self.hierarchical = hierarchical
         self.shards = shards
         self.optimize = optimize
+        self.verify = verify
         self.stats = ServiceStats()
         self._queue: asyncio.Queue[_PendingRequest] | None = None
         self._worker: asyncio.Task | None = None
@@ -383,6 +392,18 @@ class PlutoService:
             program = optimize_cached(calls)
             calls = list(program.calls)
             report = program.report
+        structure_key = self._structure_key(calls)
+        if self.verify:
+            # Reject malformed programs at submission — synchronously,
+            # before the request takes a queue slot — with the structured
+            # diagnostics on the raised VerificationError.  Memoized on
+            # the program structure key (reusing the coalescing key
+            # computed above), so repeat shapes cost a dict hit.
+            from repro.analyze.verifier import verify_cached
+
+            verify_cached(
+                calls, subject="request", key=structure_key
+            ).raise_if_errors()
         request = _PendingRequest(
             request_id=self._next_id,
             calls=calls,
@@ -390,7 +411,7 @@ class PlutoService:
             backend=source.backend,
             enqueued_at=time.monotonic(),
             future=asyncio.get_running_loop().create_future(),
-            structure_key=self._structure_key(calls),
+            structure_key=structure_key,
             optimized=optimized,
             optimization=report,
         )

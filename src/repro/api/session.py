@@ -28,9 +28,10 @@ import numpy as np
 from repro.api.handles import ApiCall, PlutoVector
 from repro.api.luts import BITWISE_OPERATIONS, add_lut, bitwise_lut, multiply_lut
 from repro.core.lut import LookupTable
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError, VerificationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.analyze.diagnostics import VerificationReport
     from repro.api.service import PlutoService
     from repro.backend.base import ExecutionBackend
     from repro.compiler.lowering import CompiledProgram
@@ -66,8 +67,30 @@ def program_structure_key(calls: Sequence[ApiCall]) -> tuple:
     return _key(list(calls))
 
 
+#: Sentinel distinguishing "compute the key" from "known unhashable".
+_KEY_UNSET: object = object()
+
+
+def hashable_structure_key(calls: Sequence[ApiCall]) -> "tuple | None":
+    """The program structure key, or ``None`` when it is not hashable.
+
+    The execution front doors compute this once per run and thread it
+    through both the verifier memo and the compile cache, so neither
+    layer rebuilds the key on the hot path.
+    """
+    try:
+        key = program_structure_key(calls)
+        # The key tuple builds fine around unhashable parameter values
+        # and only fails at hash time — probe before handing it out.
+        hash(key)
+        return key
+    except TypeError:
+        return None
+
+
 def compile_cached_with_key(
     calls: Sequence[ApiCall],
+    key: "tuple | None | object" = _KEY_UNSET,
 ) -> "tuple[CompiledProgram, tuple | None]":
     """Compile a call list and return it with its structure key.
 
@@ -75,15 +98,17 @@ def compile_cached_with_key(
     whole-program compiled closures) memoize on, so the execution front
     doors thread it through to the controller.  Falls back to an
     uncached compile — and a ``None`` key — when the structure key is
-    not hashable (e.g. a call carries list-valued parameters).
+    not hashable (e.g. a call carries list-valued parameters).  Callers
+    that already hold the key (``None`` meaning "known unhashable") pass
+    it to skip the recomputation.
     """
     from repro.compiler.lowering import PlutoCompiler
 
-    try:
-        key = program_structure_key(calls)
-        compiled = _PROGRAM_CACHE.get(key)
-    except TypeError:
+    if key is _KEY_UNSET:
+        key = hashable_structure_key(calls)
+    if key is None:
         return PlutoCompiler().compile(list(calls)), None
+    compiled = _PROGRAM_CACHE.get(key)
     if compiled is None:
         compiled = PlutoCompiler().compile(list(calls))
         _PROGRAM_CACHE[key] = compiled
@@ -122,6 +147,7 @@ def cache_stats() -> dict[str, dict]:
     :meth:`~repro.api.service.ServiceStats.cache_stats`, so the serving
     layer can report memo effectiveness.
     """
+    from repro.analyze.verifier import verifier_cache_stats
     from repro.backend.compiled import compiled_exec_stats
     from repro.controller.dispatch import engine_helper_cache_stats
     from repro.controller.executor import trace_template_stats
@@ -133,6 +159,7 @@ def cache_stats() -> dict[str, dict]:
 
     return {
         "programs": {"size": program_cache_size()},
+        "verifier": verifier_cache_stats(),
         "optimizer": optimizer_cache_stats(),
         "lut_compositions": compose_cache_stats(),
         "trace_templates": trace_template_stats(),
@@ -154,6 +181,7 @@ def clear_all_caches() -> None:
     so tests and long-running services stop clearing layers one by one
     (and new layers are covered automatically).
     """
+    from repro.analyze.verifier import clear_verifier_cache
     from repro.backend.compiled import clear_compiled_programs
     from repro.controller.dispatch import clear_engine_helper_caches
     from repro.controller.executor import clear_trace_templates
@@ -164,6 +192,7 @@ def clear_all_caches() -> None:
     from repro.opt.pipeline import clear_optimizer_cache
 
     clear_program_cache()
+    clear_verifier_cache()
     clear_optimizer_cache()
     clear_compose_cache()
     clear_trace_templates()
@@ -394,6 +423,19 @@ class PlutoSession:
         """Compile the recorded calls (cached by program structure)."""
         return compile_cached(self.calls)
 
+    def verify(self) -> "VerificationReport":
+        """Statically verify the recorded program (API + lowered ISA).
+
+        Returns the :class:`~repro.analyze.diagnostics.VerificationReport`
+        with every finding — it does **not** raise; callers that want the
+        rejecting behaviour chain ``.raise_if_errors()``.  Reports are
+        memoized on the program structure key, so verifying a served
+        shape repeatedly costs a dict hit.
+        """
+        from repro.analyze.verifier import verify_cached
+
+        return verify_cached(self.calls)
+
     def optimize(self) -> "OptimizedProgram":
         """Run the program optimizer over the recorded calls.
 
@@ -424,6 +466,65 @@ class PlutoSession:
             return list(self.calls), None
         optimized = self.optimize()
         return list(optimized.calls), optimized.report
+
+    @staticmethod
+    def _verify_for_run(
+        calls: "Sequence[ApiCall]",
+        engine: "PlutoEngine | None",
+        key: "tuple | None | object" = _KEY_UNSET,
+        compiled: "CompiledProgram | None" = None,
+    ) -> None:
+        """Verify what is about to execute, per the engine's verify mode.
+
+        Runs over the *post-optimization* call list (the program that
+        actually executes) and raises
+        :class:`~repro.errors.VerificationError` with the diagnostics on
+        any error-severity finding.  Memoized on the program structure
+        key (``key`` forwards an already-computed one); when the caller
+        holds the cached :class:`CompiledProgram`, a prior clean verdict
+        is remembered on the object itself, so warm verified serving
+        costs one attribute check per run.
+        """
+        if engine is None:
+            return
+        from repro.analyze.verifier import verification_enabled, verify_cached
+
+        if not verification_enabled(engine.config.verify):
+            return
+        if compiled is not None and compiled.verification_ok:
+            return
+        if key is _KEY_UNSET:
+            # No precomputed key: let the verifier build its own.
+            verify_cached(calls).raise_if_errors()
+        else:
+            verify_cached(calls, key=key).raise_if_errors()
+        if compiled is not None:
+            compiled.verification_ok = True
+
+    def _compile_verified(
+        self, calls: "list[ApiCall]", engine: "PlutoEngine | None"
+    ) -> "tuple[CompiledProgram, tuple | None]":
+        """Compile (cached) then verify, per the engine's verify mode.
+
+        Compilation comes first so a prior clean verdict rides the
+        cached program object (one attribute check per warm run).  When
+        the compiler itself rejects the program and verification is on,
+        the verifier's structured diagnostics replace the raw compiler
+        error; the original error re-raises if the verifier finds
+        nothing (or verification is off).
+        """
+        structure_key = hashable_structure_key(calls)
+        try:
+            compiled, structure_key = compile_cached_with_key(
+                calls, structure_key
+            )
+        except ReproError:
+            self._verify_for_run(calls, engine, key=structure_key)
+            raise
+        self._verify_for_run(
+            calls, engine, key=structure_key, compiled=compiled
+        )
+        return compiled, structure_key
 
     def _controller(self, engine: "PlutoEngine | None"):
         from repro.controller.executor import PlutoController
@@ -469,12 +570,13 @@ class PlutoSession:
             raise ConfigurationError("shard count must be >= 1")
         calls, report = self._calls_for_run(optimize, engine)
         if shards > 1:
+            self._verify_for_run(calls, engine)
             from repro.controller.dispatch import ParallelDispatcher
 
             dispatcher = ParallelDispatcher(engine, backend=self.backend)
             result = dispatcher.execute(calls, inputs, shards=shards)
         else:
-            compiled, structure_key = compile_cached_with_key(calls)
+            compiled, structure_key = self._compile_verified(calls, engine)
             result = self._controller(engine).execute(
                 compiled, dict(inputs), structure_key=structure_key
             )
@@ -501,7 +603,7 @@ class PlutoSession:
         the whole batch then executes the optimized program.
         """
         calls, _ = self._calls_for_run(optimize, engine)
-        compiled, structure_key = compile_cached_with_key(calls)
+        compiled, structure_key = self._compile_verified(calls, engine)
         controller = self._controller(engine)
         if not parallel:
             return BatchResult(
@@ -565,6 +667,7 @@ class PlutoSession:
         from repro.controller.hierarchy import HierarchicalDispatcher
 
         calls, report = self._calls_for_run(optimize, engine)
+        self._verify_for_run(calls, engine)
         dispatcher = HierarchicalDispatcher(engine, backend=self.backend)
         result = dispatcher.execute(calls, inputs, shards=shards)
         result.optimization = report
@@ -579,6 +682,7 @@ class PlutoSession:
         hierarchical: bool = False,
         shards: int | None = None,
         optimize: bool = False,
+        verify: bool = True,
     ) -> "PlutoService":
         """An async serving frontend bound to this session's program.
 
@@ -587,7 +691,10 @@ class PlutoSession:
         batch coalescing, and per-request latency accounting.
         ``optimize=True`` runs every request through the program
         optimizer, and requests coalesce on their *post-optimization*
-        structure key.  See :mod:`repro.api.service`.
+        structure key.  ``verify=True`` (the default) rejects malformed
+        request programs at submission with
+        :class:`~repro.errors.VerificationError` carrying the verifier's
+        diagnostics.  See :mod:`repro.api.service`.
         """
         from repro.api.service import PlutoService
 
@@ -599,6 +706,7 @@ class PlutoSession:
             hierarchical=hierarchical,
             shards=shards,
             optimize=optimize,
+            verify=verify,
         )
 
     @staticmethod
@@ -616,22 +724,34 @@ class PlutoSession:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _check_operand_width(in1: PlutoVector, in2: PlutoVector, bit_width: int) -> None:
+        """Reject narrow operands with the verifier's own diagnostic.
+
+        The condition is the one :func:`repro.analyze.verify_calls`
+        reports as ``operand-width``; building the record through the
+        shared helper keeps the record-time rejection and the verifier
+        report word-for-word identical.
+        """
+        from repro.analyze.verifier import operand_width_diagnostic
+
         if bit_width <= 0:
             raise ConfigurationError("operand bit width must be positive")
-        for vector in (in1, in2):
-            if vector.bit_width < bit_width:
-                raise ConfigurationError(
-                    f"vector {vector.name!r} is {vector.bit_width}-bit wide but the "
-                    f"routine operates on {bit_width}-bit operands"
-                )
+        diagnostics = [
+            diagnostic
+            for vector in (in1, in2)
+            for diagnostic in (operand_width_diagnostic(vector, bit_width),)
+            if diagnostic is not None
+        ]
+        if diagnostics:
+            raise VerificationError(diagnostics, subject="API call")
 
     @staticmethod
     def _check_output_width(out: PlutoVector, lut: LookupTable) -> None:
-        if out.bit_width < lut.element_bits:
-            raise ConfigurationError(
-                f"output vector {out.name!r} is {out.bit_width}-bit wide but LUT "
-                f"{lut.name!r} stores {lut.element_bits}-bit elements"
-            )
+        """Reject narrow outputs with the verifier's ``narrow-output`` record."""
+        from repro.analyze.verifier import narrow_output_diagnostic
+
+        diagnostic = narrow_output_diagnostic(out, lut)
+        if diagnostic is not None:
+            raise VerificationError((diagnostic,), subject="API call")
 
     @staticmethod
     def _check_bitwise_operation(operation: str, *, unary_allowed: bool = False) -> None:

@@ -27,6 +27,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.analyze.dataflow import analyze_dataflow
 from repro.compiler.lowering import CompiledProgram
 from repro.core.lut import gather_array
 from repro.errors import ExecutionError, LUTError
@@ -260,83 +261,35 @@ def _bitwise_expression(
 
 
 def _lower(compiled: CompiledProgram) -> CompiledExecutable:
-    """Generate and compile the whole-program closure."""
+    """Generate and compile the whole-program closure.
+
+    The value-bound and structural reasoning lives in the shared forward
+    pass of :mod:`repro.analyze.dataflow` (one run per input contract);
+    this function is pure code generation against those facts.  Two
+    variants of the program body are generated.  ``safe_lines`` (the
+    ``__pluto_program__`` closure behind run_finals and fused execution)
+    carries an inline LUT bounds check wherever the source slot's
+    provable value bound can reach the table size — ``run_finals``
+    width-checks externals on the caller's dtype (a signed ``-1`` passes
+    and wraps huge as uint64, matching the interpreted route), so its
+    contract is ``assume_external_width=False``.  The serve entry point
+    validates every external's *converted* uint64 values against the
+    width mask and bails out otherwise, so ``fast_lines`` analyzes under
+    ``assume_external_width=True`` — which elides every check in 8-bit
+    serving programs.
+    """
+    fast = analyze_dataflow(compiled, assume_external_width=True)
+    safe = analyze_dataflow(compiled, assume_external_width=False)
+
     env: dict[str, object] = {"I": np.intp, "EL": _raise_lut_bounds}
-    #: Two variants of the program body are generated.  ``safe_lines``
-    #: (the ``__pluto_program__`` closure behind run_finals and fused
-    #: execution) carries an inline LUT bounds check wherever the source
-    #: slot's provable value bound can reach the table size.  The serve
-    #: entry point validates every external's *converted* uint64 values
-    #: against the width mask and bails out otherwise, so ``fast_lines``
-    #: may additionally treat external inputs as width-bounded — which
-    #: elides every check in 8-bit serving programs.
     fast_lines: list[str] = []
     safe_lines: list[str] = []
-    sizes: dict[int, int] = {}
-    #: slot -> "read" | "write": whether the first reference consumes the
-    #: register's prior value (then it must start zeroed) or replaces it.
-    first_event: dict[int, str] = {}
-    row_slots: set[int] = set()
     masks: dict[int, str] = {}
     shift_consts: dict[int, str] = {}
-    lut_queries = 0
-    instructions = 0
-    supports_fused = True
-
-    #: Slots rebound by a plain assignment: their final array is created
-    #: inside the closure, so the controller can skip the defensive copy.
-    rebound: set[int] = set()
-
-    #: slot -> provable upper bound on its values at the current program
-    #: point, per body variant.  The program is straight-line, so a
-    #: single forward pass gives exact bounds: LUT results are bounded by
-    #: the table's actual maximum, bitwise/shift results by the mask they
-    #: apply.  Any vector-bound slot that is read before a write can be
-    #: seeded by the caller; ``run_finals`` width-checks externals on the
-    #: caller's dtype (a signed ``-1`` passes and wraps huge as uint64,
-    #: matching the interpreted route), so the safe variant treats every
-    #: seedable slot as unbounded.  The serve path re-validates converted
-    #: values, so its variant bounds externals by their width mask.
-    fast_bounds: dict[int, int] = {}
-    safe_bounds: dict[int, int] = {}
-    table_max: dict[int, int] = {}
-    vector_slots = {
-        register.index for register in compiled.vector_bindings.values()
-    }
-    external_limits = {
-        compiled.vector_bindings[vector.name].index: mask_of(
-            min(64, vector.bit_width)
-        )
-        for vector in compiled.external_inputs
-    }
-
-    def init_bounds(register) -> None:
-        slot = register.index
-        if slot not in safe_bounds:
-            seedable = slot in vector_slots
-            safe_bounds[slot] = mask_of(64) if seedable else 0
-            limit = external_limits.get(slot)
-            if limit is None:
-                limit = mask_of(64) if seedable else 0
-            fast_bounds[slot] = limit
-
-    def set_bounds(register, value: int) -> None:
-        fast_bounds[register.index] = value
-        safe_bounds[register.index] = value
 
     def emit(line: str) -> None:
         fast_lines.append(line)
         safe_lines.append(line)
-
-    def read(register) -> str:
-        first_event.setdefault(register.index, "read")
-        init_bounds(register)
-        return f"r{register.index}"
-
-    def write(register) -> str:
-        first_event.setdefault(register.index, "write")
-        rebound.add(register.index)
-        return f"r{register.index}"
 
     def mask_const(width: int) -> str:
         width = min(64, width)
@@ -355,20 +308,14 @@ def _lower(compiled: CompiledProgram) -> CompiledExecutable:
             env[name] = np.uint64(amount)
         return name
 
-    for instruction in compiled.program:
-        instructions += 1
+    for index, instruction in enumerate(compiled.program):
         if isinstance(instruction, PlutoRowAlloc):
-            slot = instruction.destination.index
-            row_slots.add(slot)
-            sizes[slot] = instruction.size_elements
+            pass  # structural facts (sizes, zero specs) come from the pass
         elif isinstance(instruction, PlutoSubarrayAlloc):
-            index = instruction.destination.index
-            table = gather_array(compiled.lut_bindings[index])
-            env[f"T{index}"] = table
-            table_max[index] = int(table.max()) if table.size else 0
+            slot = instruction.destination.index
+            env[f"T{slot}"] = gather_array(compiled.lut_bindings[slot])
         elif isinstance(instruction, PlutoOp):
-            lut_queries += 1
-            source = read(instruction.source)
+            source = f"r{instruction.source.index}"
             lut_index = instruction.lut_subarray.index
             lut = compiled.lut_bindings[lut_index]
             # The vectorized backend raises LUTError when any index
@@ -385,10 +332,10 @@ def _lower(compiled: CompiledProgram) -> CompiledExecutable:
                 f"if {source}.size and int({source}.max()) >= {entries}: "
                 f"EL(int({source}.max()), {entries}, {lut.name!r})"
             )
-            for variant in (fast_bounds, safe_bounds):
-                if variant[instruction.source.index] >= entries:
-                    (fast_lines if variant is fast_bounds else safe_lines).append(guard)
-                    variant[instruction.source.index] = entries - 1
+            if fast.facts[index].guard_needed:
+                fast_lines.append(guard)
+            if safe.facts[index].guard_needed:
+                safe_lines.append(guard)
             # The uint64 indices are bit-reinterpreted as intp (a free,
             # itemsize-preserving view) because NumPy's intp gather is
             # measurably faster than uint64 fancy indexing or ``take``.
@@ -396,84 +343,57 @@ def _lower(compiled: CompiledProgram) -> CompiledExecutable:
             # it is a no-op: LookupTable validates every stored value
             # against mask_of(element_bits) at construction.
             emit(
-                f"{write(instruction.destination)} = "
+                f"r{instruction.destination.index} = "
                 f"T{lut_index}[{source}.view(I)]"
             )
-            set_bounds(instruction.destination, table_max[lut_index])
         elif isinstance(instruction, PlutoBitwise):
-            a = read(instruction.source1)
-            b = (
-                read(instruction.source2)
-                if instruction.source2 is not None
-                else None
-            )
             expression = _bitwise_expression(
                 instruction.kind,
-                a,
-                b,
+                f"r{instruction.source1.index}",
+                (
+                    f"r{instruction.source2.index}"
+                    if instruction.source2 is not None
+                    else None
+                ),
                 mask_const(instruction.destination.bit_width),
             )
-            emit(f"{write(instruction.destination)} = {expression}")
-            set_bounds(
-                instruction.destination,
-                mask_of(min(64, instruction.destination.bit_width)),
-            )
+            emit(f"r{instruction.destination.index} = {expression}")
         elif isinstance(instruction, (PlutoBitShift, PlutoByteShift)):
             amount = instruction.amount
             if isinstance(instruction, PlutoByteShift):
                 amount *= 8
-            target = read(instruction.target)
-            slot = instruction.target.index
-            name = write(instruction.target)
+            target = f"r{instruction.target.index}"
             if instruction.direction is ShiftDirection.LEFT:
                 emit(
-                    f"{name} = ({target} << {shift_const(amount)}) "
+                    f"{target} = ({target} << {shift_const(amount)}) "
                     f"& {mask_const(instruction.target.bit_width)}"
                 )
-                set_bounds(
-                    instruction.target,
-                    mask_of(min(64, instruction.target.bit_width)),
-                )
             else:
-                emit(f"{name} = {target} >> {shift_const(amount)}")
-                if amount < 64:  # a wider shift is not a defined uint64 op
-                    fast_bounds[slot] >>= amount
-                    safe_bounds[slot] >>= amount
+                emit(f"{target} = {target} >> {shift_const(amount)}")
         elif isinstance(instruction, PlutoMove):
-            source = read(instruction.source)
+            source = f"r{instruction.source.index}"
             destination = instruction.destination
             if destination.size_elements > instruction.source.size_elements:
                 # Partial overwrite keeps the destination's tail, exactly
                 # like the in-place slice write of ``backend.move``; a
                 # stacked array has no 1-D equivalent, so such programs
                 # fall back to the interpreted walk when fused.
-                target = read(destination)
                 emit(
-                    f"{target}[:{instruction.source.size_elements}] = {source}"
+                    f"r{destination.index}"
+                    f"[:{instruction.source.size_elements}] = {source}"
                 )
-                supports_fused = False
-                for variant in (fast_bounds, safe_bounds):
-                    variant[destination.index] = max(
-                        variant[destination.index],
-                        variant[instruction.source.index],
-                    )
             else:
-                emit(f"{write(destination)} = {source}.copy()")
-                for variant in (fast_bounds, safe_bounds):
-                    variant[destination.index] = variant[
-                        instruction.source.index
-                    ]
+                emit(f"r{destination.index} = {source}.copy()")
         else:
             raise ExecutionError(
                 f"unsupported instruction {type(instruction).__name__}"
             )
 
+    row_slots = safe.row_slots
+    rebound = safe.rebound
+    supports_fused = safe.supports_fused
     num_slots = max(row_slots) + 1 if row_slots else 0
-    zero_specs = tuple(
-        (slot, sizes[slot])
-        for slot in sorted(row_slots)
-        if first_event.get(slot) != "write"
-    )
+    zero_specs = safe.zero_specs()
 
     binding_items = tuple(compiled.vector_bindings.items())
     final_slots = tuple(
@@ -573,8 +493,8 @@ def _lower(compiled: CompiledProgram) -> CompiledExecutable:
         input_checks=input_checks,
         required_inputs=required_inputs,
         supports_fused=supports_fused,
-        lut_queries=lut_queries,
-        instructions=instructions,
+        lut_queries=safe.lut_queries,
+        instructions=safe.instructions,
     )
 
 

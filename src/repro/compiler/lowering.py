@@ -79,6 +79,10 @@ class CompiledProgram:
     external_inputs: list[PlutoVector] = field(default_factory=list)
     #: Vectors holding the program results.
     outputs: list[PlutoVector] = field(default_factory=list)
+    #: Set by the execution front doors after this (cached) program
+    #: verified error-free, so warm verified serving costs an attribute
+    #: check instead of a structure-key hash per run.
+    verification_ok: bool = field(default=False, compare=False)
 
     @property
     def lut_queries(self) -> int:

@@ -45,7 +45,7 @@ from repro.core.engine import PlutoConfig, PlutoEngine
 from repro.dram.analytic import memoized_merge_makespan_ns
 from repro.dram.commands import Command, CommandTrace
 from repro.dram.scheduler import CommandScheduler
-from repro.errors import ConfigurationError, ExecutionError
+from repro.errors import ConfigurationError, ExecutionError, VerificationError
 
 __all__ = [
     "ShardPlan",
@@ -248,11 +248,14 @@ class ShardPlanner:
         equal-sized shards lower to structurally identical programs and
         compile once.  Shard *i* is placed in bank ``i % num_banks``.
         """
-        if shards > self.num_banks:
-            raise ConfigurationError(
-                f"cannot run {shards} shards bank-parallel on a module with "
-                f"{self.num_banks} banks"
-            )
+        from repro.analyze.verifier import shards_overcommit_diagnostic
+
+        overcommit = shards_overcommit_diagnostic(shards, self.num_banks)
+        if overcommit is not None:
+            # The same Diagnostic the shard-plan verifier reports;
+            # VerificationError subclasses ConfigurationError, so
+            # existing handlers keep working.
+            raise VerificationError((overcommit,), subject="shard plan")
         return [
             ShardPlan(
                 index=index,
@@ -494,6 +497,7 @@ class ParallelDispatcher:
     ) -> ShardedExecutionResult:
         """Run ``calls`` bank-parallel over ``shards`` slices of ``inputs``."""
         plans = self.planner.plan(calls, shards)
+        self._verify_plans(plans)
         arrays = {name: np.asarray(data) for name, data in inputs.items()}
         self._check_inputs(calls, arrays)
         shard_results = execute_shard_plans(
@@ -504,6 +508,23 @@ class ParallelDispatcher:
     # ------------------------------------------------------------------ #
     # Validation
     # ------------------------------------------------------------------ #
+    def _verify_plans(self, plans: "list[ShardPlan]") -> None:
+        """Statically verify the shard plan, per the engine's verify mode.
+
+        Catches slice aliasing and bad bank placement before any shard
+        executes — two shards writing one output region is the silent
+        corruption sharded execution must never reach.
+        """
+        from repro.analyze.verifier import (
+            verification_enabled,
+            verify_shard_plans,
+        )
+
+        if verification_enabled(self.engine.config.verify):
+            verify_shard_plans(
+                plans, num_banks=self.engine.geometry.banks
+            ).raise_if_errors()
+
     @staticmethod
     def _check_inputs(
         calls: Sequence[ApiCall], arrays: Mapping[str, np.ndarray]

@@ -67,6 +67,15 @@ class PlutoConfig:
     (:mod:`repro.opt`) before compilation by default; per-call
     ``optimize=`` arguments on the session entry points still override
     it either way.
+
+    ``verify`` runs the static verifier (:mod:`repro.analyze`) over the
+    program — post-optimization, i.e. what actually executes — before
+    every execution routed through an engine built from this
+    configuration: ``"always"`` unconditionally, ``"debug"`` only under
+    ``__debug__`` (not with ``python -O``), ``"off"`` (the default)
+    never.  Reports are memoized on the program structure key, so a
+    served shape is verified once; errors raise
+    :class:`~repro.errors.VerificationError` with the diagnostics.
     """
 
     design: PlutoDesign = PlutoDesign.BSA
@@ -76,8 +85,14 @@ class PlutoConfig:
     channels: int | None = None
     ranks: int | None = None
     optimize: bool = False
+    verify: str = "off"
 
     def __post_init__(self) -> None:
+        if self.verify not in ("always", "debug", "off"):
+            raise ConfigurationError(
+                f"unknown verify mode {self.verify!r}; expected one of "
+                "['always', 'debug', 'off']"
+            )
         if self.memory not in _MEMORY_PRESETS:
             raise ConfigurationError(
                 f"unknown memory kind {self.memory!r}; expected one of "

@@ -33,6 +33,28 @@ class CompilationError(ReproError):
     """The pLUTo compiler could not lower an API program to ISA."""
 
 
+class VerificationError(ConfigurationError):
+    """A program failed static verification (:mod:`repro.analyze`).
+
+    Carries the error-severity :class:`~repro.analyze.diagnostics.Diagnostic`
+    records as :attr:`diagnostics`, so callers (and the serving tier's
+    request rejections) can inspect the structured findings instead of
+    parsing the message.  Subclasses :class:`ConfigurationError`: the
+    ad-hoc API-layer checks this machinery replaces raised that, and
+    existing handlers keep working.
+    """
+
+    def __init__(self, diagnostics=(), *, subject: str = "program") -> None:
+        self.diagnostics = tuple(diagnostics)
+        self.subject = subject
+        if self.diagnostics:
+            rendered = "; ".join(d.render() for d in self.diagnostics)
+            message = f"{subject} failed verification: {rendered}"
+        else:
+            message = f"{subject} failed verification"
+        super().__init__(message)
+
+
 class ExecutionError(ReproError):
     """The pLUTo controller failed while executing an ISA program."""
 

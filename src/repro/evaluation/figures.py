@@ -572,6 +572,45 @@ def figure_optimizer_gains(
 
 
 # --------------------------------------------------------------------- #
+# Static verification — the verifier over the workload registry
+# --------------------------------------------------------------------- #
+def figure_static_verification(elements: int = 4096, seed: int = 0) -> FigureResult:
+    """Verify every registry workload, as recorded and after optimization.
+
+    Mirrors ``python -m repro.analyze --all-workloads``: each family's
+    recorded API pipeline and the optimizer's rewrite of it run through
+    the static verifier (:mod:`repro.analyze`), and the rows record the
+    call counts alongside the number of error/warning diagnostics —
+    all zero for a healthy registry.
+    """
+    from repro.analyze.verifier import verify_program
+    from repro.opt.pipeline import optimize_cached
+    from repro.workloads.programs import optimizer_workload_programs
+
+    result = FigureResult(
+        name="Static verification",
+        description="Registry workloads through the static verifier",
+    )
+    for program in optimizer_workload_programs(elements=elements, seed=seed):
+        recorded = list(program.session.calls)
+        optimized = list(optimize_cached(recorded).calls)
+        for stage, calls in (("recorded", recorded), ("optimized", optimized)):
+            report = verify_program(calls, subject=f"{program.name} ({stage})")
+            result.rows.append(
+                {
+                    "workload": program.name,
+                    "family": program.family,
+                    "stage": stage,
+                    "calls": len(calls),
+                    "errors": len(report.errors),
+                    "warnings": len(report.warnings),
+                    "clean": report.clean,
+                }
+            )
+    return result
+
+
+# --------------------------------------------------------------------- #
 # Figure 14 — subarray-level parallelism scaling
 # --------------------------------------------------------------------- #
 def figure14_salp_scaling(

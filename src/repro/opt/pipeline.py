@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.analyze.verifier import check_pass_invariants, verification_enabled
 from repro.api.handles import ApiCall, PlutoVector
 from repro.errors import CompilationError
 from repro.opt.analysis import natural_output_names, topological_calls
@@ -72,13 +73,26 @@ class OptimizedProgram:
 
 
 class PassManager:
-    """Runs an ordered pass pipeline over API programs to fixpoint."""
+    """Runs an ordered pass pipeline over API programs to fixpoint.
+
+    ``verify`` re-verifies the program through the IR verifier
+    (:func:`repro.analyze.verifier.check_pass_invariants`) after every
+    pass that changed it, so a broken rewrite is caught at the pass that
+    introduced it: ``"always"`` unconditionally, ``"debug"`` (the
+    default) only under ``__debug__`` — i.e. on in tests and normal
+    runs, compiled away under ``python -O`` — and ``"off"`` never.
+    Serving overhead is ~zero either way because whole optimizations
+    are memoized on the program structure key
+    (:func:`optimize_cached`), so each shape pays for its verification
+    exactly once.
+    """
 
     def __init__(
         self,
         passes: Sequence[OptimizationPass] | None = None,
         *,
         max_rounds: int = 8,
+        verify: str | None = None,
     ) -> None:
         if max_rounds <= 0:
             raise CompilationError("the pass pipeline needs at least one round")
@@ -86,6 +100,8 @@ class PassManager:
             tuple(passes) if passes is not None else default_passes()
         )
         self.max_rounds = max_rounds
+        self.verify = "debug" if verify is None else verify
+        verification_enabled(self.verify)  # reject unknown modes eagerly
 
     def optimize(
         self,
@@ -108,6 +124,7 @@ class PassManager:
         preserved = self._preserved_names(work, outputs)
         before = program_metrics(original)
 
+        checking = verification_enabled(self.verify)
         trail = []
         rounds = 0
         for _ in range(self.max_rounds):
@@ -118,6 +135,12 @@ class PassManager:
                 if stats.changed:
                     trail.append(stats)
                     round_changed = True
+                    if checking:
+                        check_pass_invariants(
+                            work,
+                            preserved=preserved,
+                            pass_name=optimization_pass.name,
+                        )
             if not round_changed:
                 break
         if outputs is None and natural_output_names(work) != preserved:
@@ -164,9 +187,10 @@ def optimize_program(
     *,
     outputs: Iterable[PlutoVector | str] | None = None,
     passes: Sequence[OptimizationPass] | None = None,
+    verify: str | None = None,
 ) -> OptimizedProgram:
     """Optimize one API program with the default (or given) pipeline."""
-    return PassManager(passes).optimize(calls, outputs=outputs)
+    return PassManager(passes, verify=verify).optimize(calls, outputs=outputs)
 
 
 #: Structure key -> OptimizedProgram (natural outputs, default pipeline).

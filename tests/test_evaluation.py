@@ -19,6 +19,7 @@ from repro.evaluation.figures import (
     figure12_scalability,
     figure13_tfaw_sensitivity,
     figure14_salp_scaling,
+    figure_static_verification,
 )
 from repro.evaluation.harness import EvaluationHarness, default_pluto_configs
 from repro.evaluation.reporting import format_rows, render_markdown_table, render_result
@@ -179,6 +180,18 @@ class TestFigure13:
         assert gmeans[0.0] == pytest.approx(1.0)
         assert gmeans[1.0] <= gmeans[0.5] <= gmeans[0.0]
         assert gmeans[1.0] > 0.4  # pLUTo remains useful under nominal tFAW
+
+
+class TestStaticVerification:
+    def test_registry_verifies_clean_at_both_stages(self):
+        """Every registry family must be diagnostic-free, both as recorded
+        and after the optimizer rewrites it (the EXPERIMENTS.md table)."""
+        result = figure_static_verification(elements=256)
+        stages = {(row["workload"], row["stage"]) for row in result.rows}
+        assert all(row["clean"] for row in result.rows), result.rows
+        assert all(row["errors"] == 0 == row["warnings"] for row in result.rows)
+        assert len(stages) == len(result.rows)  # one row per (family, stage)
+        assert {stage for _, stage in stages} == {"recorded", "optimized"}
 
 
 class TestFigure14:

@@ -239,6 +239,7 @@ class TestCacheStatsSurface:
             "engine_helpers",
             "lut_gather_arrays",
             "compiled_exec",
+            "verifier",
         }
         assert {"hits", "misses", "size"} <= set(stats["scheduler_merges"])
         assert stats is not cache_stats()  # fresh snapshots, not aliases

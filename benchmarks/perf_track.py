@@ -1,4 +1,4 @@
-"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr7.json``.
+"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr8.json``.
 
 CI's ``perf-track`` job calls this script.  It
 
@@ -8,21 +8,26 @@ CI's ``perf-track`` job calls this script.  It
    ``benchmarks/test_hierarchy_scaling.py`` (per-level
    makespan decomposition + fused vs per-shard dispatch),
    ``benchmarks/test_scheduler_speed.py`` (event-driven vs
-   memoized+analytic makespan throughput), and
+   memoized+analytic makespan throughput),
    ``benchmarks/test_optimizer_gain.py`` (program-optimizer row-sweep
-   and makespan savings) through pytest, collecting their JSON payloads;
+   and makespan savings), and ``benchmarks/test_planner_gain.py``
+   (cost-based auto-planner vs the static configuration grid) through
+   pytest, collecting their JSON payloads;
 2. gates on the recorded floors — the PR 1-5 floors (vectorized backend
    speedup, hierarchy gain, per-level monotonicity, hierarchy-figure
    wall-clock budget, dispatch-fusion speedup, memoized-scheduling
    speedup, optimizer sweep/makespan reduction), the PR 6 floor
    (compiled-tier speedup over the interpreted vectorized path on every
-   serving workload), and the PR 7 ceiling (static verification must
-   cost less than 5% of unverified serving wall-clock) — exiting
+   serving workload), the PR 7 ceiling (static verification must
+   cost less than 5% of unverified serving wall-clock), and the PR 8
+   floors (the auto-planned makespan within 5% of the best static
+   configuration on every family, beating the naive default on most,
+   with exact predicted-vs-measured makespans) — exiting
    non-zero on a regression so future PRs cannot silently lose the fast
    paths;
-3. writes the combined record to ``BENCH_pr7.json``, including the
+3. writes the combined record to ``BENCH_pr8.json``, including the
    cross-PR wall-clock trajectory (carried forward from
-   ``BENCH_pr6.json`` when present — a missing or unreadable prior file
+   ``BENCH_pr7.json`` when present — a missing or unreadable prior file
    is warned about, not fatal), which CI uploads as an artifact.
 
 Run locally with:  python benchmarks/perf_track.py
@@ -41,21 +46,23 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCHMARKS = Path(__file__).resolve().parent
-PR = 7
+PR = 8
 
 
-def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, dict, float]:
+def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, dict, dict, float]:
     """Run the benchmark files, returning their payloads and wall time."""
     backend_json = workdir / "backend_speed.json"
     hierarchy_json = workdir / "hierarchy_scaling.json"
     scheduler_json = workdir / "scheduler_speed.json"
     optimizer_json = workdir / "optimizer_gain.json"
+    planner_json = workdir / "planner_gain.json"
     env = dict(
         os.environ,
         BACKEND_SPEED_JSON=str(backend_json),
         HIERARCHY_SCALING_JSON=str(hierarchy_json),
         SCHEDULER_SPEED_JSON=str(scheduler_json),
         OPTIMIZER_GAIN_JSON=str(optimizer_json),
+        PLANNER_GAIN_JSON=str(planner_json),
     )
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
@@ -71,6 +78,7 @@ def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, dict, float]:
             str(BENCHMARKS / "test_hierarchy_scaling.py"),
             str(BENCHMARKS / "test_scheduler_speed.py"),
             str(BENCHMARKS / "test_optimizer_gain.py"),
+            str(BENCHMARKS / "test_planner_gain.py"),
             "-q",
         ],
         env=env,
@@ -86,11 +94,18 @@ def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, dict, float]:
         json.loads(hierarchy_json.read_text()),
         json.loads(scheduler_json.read_text()),
         json.loads(optimizer_json.read_text()),
+        json.loads(planner_json.read_text()),
         wall_s,
     )
 
 
-def gate(backend: dict, hierarchy: dict, scheduler: dict, optimizer: dict) -> list[str]:
+def gate(
+    backend: dict,
+    hierarchy: dict,
+    scheduler: dict,
+    optimizer: dict,
+    planner: dict,
+) -> list[str]:
     """Return regression messages (empty when every floor holds)."""
     failures = []
     backend_floor = backend.get("min_speedup", 5.0)
@@ -164,11 +179,34 @@ def gate(backend: dict, hierarchy: dict, scheduler: dict, optimizer: dict) -> li
                 f"verified serving costs {100 * verified['overhead']:.1f}% over "
                 f"unverified (allowed {100 * overhead_ceiling:.0f}%)"
             )
+    planner_ceiling = planner.get("max_auto_vs_best", 0.05)
+    if planner["worst_auto_vs_best"] > 1.0 + planner_ceiling:
+        failures.append(
+            f"auto-planned makespan is "
+            f"{100 * (planner['worst_auto_vs_best'] - 1):.1f}% worse than the "
+            f"best static configuration (allowed {100 * planner_ceiling:.0f}%)"
+        )
+    beating_floor = planner.get("min_families_beating_default", 4)
+    if planner["families_beating_default"] < beating_floor:
+        failures.append(
+            f"auto beats the naive default on only "
+            f"{planner['families_beating_default']} of {planner['families']} "
+            f"families (required {beating_floor})"
+        )
+    if planner["max_prediction_error"] != 0.0:
+        failures.append(
+            f"planner predicted-vs-measured error "
+            f"{planner['max_prediction_error']} (must be exact)"
+        )
     return failures
 
 
 def trajectory(
-    backend: dict, hierarchy: dict, optimizer: dict, wall_s: float
+    backend: dict,
+    hierarchy: dict,
+    optimizer: dict,
+    planner: dict,
+    wall_s: float,
 ) -> list[dict]:
     """The cross-PR wall-clock record, carried forward from the last file."""
     points: list[dict] = []
@@ -214,6 +252,10 @@ def trajectory(
             "verified_serving_overhead": backend.get(
                 "verified_serving", {}
             ).get("overhead"),
+            "planner_worst_auto_vs_best": planner["worst_auto_vs_best"],
+            "planner_families_beating_default": planner[
+                "families_beating_default"
+            ],
         }
     )
     return points
@@ -230,8 +272,10 @@ def main() -> None:
     arguments = parser.parse_args()
 
     with tempfile.TemporaryDirectory() as tmp:
-        backend, hierarchy, scheduler, optimizer, wall_s = run_benchmarks(Path(tmp))
-    failures = gate(backend, hierarchy, scheduler, optimizer)
+        backend, hierarchy, scheduler, optimizer, planner, wall_s = run_benchmarks(
+            Path(tmp)
+        )
+    failures = gate(backend, hierarchy, scheduler, optimizer, planner)
 
     record = {
         "pr": PR,
@@ -240,8 +284,9 @@ def main() -> None:
         "hierarchy_scaling": hierarchy,
         "scheduler_speed": scheduler,
         "optimizer_gain": optimizer,
+        "planner_gain": planner,
         "dispatch_fusion": hierarchy.get("dispatch_fusion", {}),
-        "trajectory": trajectory(backend, hierarchy, optimizer, wall_s),
+        "trajectory": trajectory(backend, hierarchy, optimizer, planner, wall_s),
         "regressions": failures,
     }
     arguments.output.write_text(json.dumps(record, indent=2) + "\n")
@@ -279,6 +324,15 @@ def main() -> None:
             f"verified serving {100 * verified['overhead']:+.1f}% "
             f"(ceiling +{100 * verified.get('max_overhead', 0.05):.0f}%)"
         )
+    print(
+        f"auto-planner worst-vs-best "
+        f"{100 * (planner['worst_auto_vs_best'] - 1):+.1f}% "
+        f"(ceiling +{100 * planner.get('max_auto_vs_best', 0.05):.0f}%); "
+        f"beats default on {planner['families_beating_default']}/"
+        f"{planner['families']} families "
+        f"(floor {planner.get('min_families_beating_default', 4)}); "
+        f"prediction error {planner['max_prediction_error']}"
+    )
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

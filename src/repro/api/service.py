@@ -28,21 +28,29 @@ execution stack:
   *post-optimization* structure key, so all downstream memo layers work
   on the rewritten, cheaper program.
 
-The service executes requests through either the plain controller or, when
-constructed with ``hierarchical=True``, the
-:class:`~repro.controller.hierarchy.HierarchicalDispatcher`, spreading each
-request over the engine's channel/rank/bank hierarchy.
+How each request executes is governed by one
+:class:`~repro.plan.ExecutionPlan` (the service-wide ``plan=``): the plain
+controller for unsharded plans, the bank-parallel
+:class:`~repro.controller.dispatch.ParallelDispatcher` for sharded plans,
+or the :class:`~repro.controller.hierarchy.HierarchicalDispatcher` for
+hierarchical plans.  With ``plan="auto"`` the cost-based planner
+(:func:`repro.plan.plan_program`) prices the candidate configurations per
+distinct request structure — memoized, so a coalesced batch plans once —
+and each :class:`ServedResult` carries the chosen plan and its
+:class:`~repro.plan.PlannerReport`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
+from repro.api.session import _LEGACY_UNSET
 from repro.errors import ServiceClosedError, ServiceOverloadError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -50,6 +58,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.controller.executor import ExecutionResult
     from repro.core.engine import PlutoEngine
     from repro.opt.report import OptimizationReport
+    from repro.plan.execution_plan import ExecutionPlan
+    from repro.plan.planner import PlannerReport
 
 __all__ = ["PlutoService", "ServedResult", "ServiceStats"]
 
@@ -76,6 +86,10 @@ class ServedResult:
     result: "ExecutionResult"
     #: Program-optimizer report for this request (None when unoptimized).
     optimization: "OptimizationReport | None" = None
+    #: The concrete plan this request executed under.
+    execution_plan: "ExecutionPlan | None" = None
+    #: Planner report when the plan came from ``plan="auto"``.
+    planner: "PlannerReport | None" = None
 
     @property
     def turnaround_s(self) -> float:
@@ -148,6 +162,11 @@ class _PendingRequest:
     optimized: bool = False
     #: The optimizer's report for this request, when optimized.
     optimization: "OptimizationReport | None" = None
+    #: The concrete plan this request executes under (auto plans are
+    #: resolved by the planner at submission time).
+    plan: "ExecutionPlan | None" = None
+    #: Planner report when the service plans automatically.
+    planner: "PlannerReport | None" = None
 
     @property
     def backend_key(self) -> object:
@@ -158,14 +177,16 @@ class _PendingRequest:
     def coalesce_key(self) -> object:
         """Batch identity: requests coalesce iff these keys are equal.
 
-        Optimized requests carry their *post-optimization* structure key
-        plus the ``optimized`` flag, so an optimized and an unoptimized
-        recording of the same program never share a batch.  Requests
-        with unhashable structure get an identity key and run alone.
+        Optimized requests carry their *post-optimization* structure key,
+        and the concrete :class:`~repro.plan.ExecutionPlan` is part of
+        the key, so requests only share a batch when they run the same
+        program the same way (an optimized and an unoptimized recording
+        of the same program never coalesce).  Requests with unhashable
+        structure get an identity key and run alone.
         """
         if self.structure_key is None:
             return (id(self),)
-        return (self.structure_key, self.backend_key, self.optimized)
+        return (self.structure_key, self.backend_key, self.plan)
 
 
 class PlutoService:
@@ -182,13 +203,20 @@ class PlutoService:
 
     ``max_queue`` bounds the number of queued requests (backpressure);
     ``max_batch`` caps how many structurally identical requests one batch
-    coalesces; ``hierarchical=True`` executes every request through the
-    channel/rank/bank :class:`~repro.controller.hierarchy.HierarchicalDispatcher`;
-    ``optimize=True`` runs every request's program through the optimizer
-    (:mod:`repro.opt`) before compilation — memoized on program
-    structure, with the batch coalescing then keyed on the
-    *post-optimization* structure so the compile, trace-template, and
-    makespan caches all hit on the rewritten program.
+    coalesces.  ``plan`` is the service-wide
+    :class:`~repro.plan.ExecutionPlan` (or ``"auto"``) every request
+    executes under — sharding, hierarchy placement, optimizer, and
+    execution tier, exactly as in :meth:`PlutoSession.run`; with
+    ``"auto"`` the cost-based planner resolves a concrete plan per
+    distinct request structure (memoized, so one planning pass serves a
+    whole coalesced batch).  A plan with ``optimize=True`` runs every
+    request's program through the optimizer (:mod:`repro.opt`) before
+    compilation — memoized on program structure, with the batch
+    coalescing then keyed on the *post-optimization* structure so the
+    compile, trace-template, and makespan caches all hit on the
+    rewritten program.  The deprecated ``hierarchical=`` / ``shards=`` /
+    ``optimize=`` keywords build the equivalent plan with a
+    ``DeprecationWarning``.
     ``verify=True`` (the default) statically verifies every request's
     program at submission and rejects malformed ones with
     :class:`~repro.errors.VerificationError` carrying the structured
@@ -205,24 +233,54 @@ class PlutoService:
         engine: "PlutoEngine | None" = None,
         max_queue: int = 64,
         max_batch: int = 16,
-        hierarchical: bool = False,
-        shards: int | None = None,
-        optimize: bool = False,
+        plan: "ExecutionPlan | str | None" = None,
+        hierarchical: object = _LEGACY_UNSET,
+        shards: object = _LEGACY_UNSET,
+        optimize: object = _LEGACY_UNSET,
         verify: bool = True,
     ) -> None:
         from repro.errors import ConfigurationError
+        from repro.plan.execution_plan import ExecutionPlan, resolve_plan
 
         if max_queue <= 0:
             raise ConfigurationError("max_queue must be positive")
         if max_batch <= 0:
             raise ConfigurationError("max_batch must be positive")
+        legacy: dict[str, object] = {}
+        if hierarchical is not _LEGACY_UNSET:
+            legacy["hierarchical"] = hierarchical
+        if shards is not _LEGACY_UNSET:
+            legacy["shards"] = shards
+        if optimize is not _LEGACY_UNSET:
+            legacy["optimize"] = optimize
+        if legacy:
+            if plan is not None:
+                raise ConfigurationError(
+                    "PlutoService got both plan= and the deprecated "
+                    f"{sorted(legacy)} keyword(s); pass only plan="
+                )
+            names = ", ".join(f"{name}=" for name in sorted(legacy))
+            warnings.warn(
+                f"PlutoService({names}) is deprecated; pass "
+                "plan=ExecutionPlan(...) (or plan='auto') instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            wants_hierarchy = bool(legacy.get("hierarchical", False))
+            plan = ExecutionPlan(
+                hierarchical=wants_hierarchy,
+                # The legacy shards= knob only ever applied to
+                # hierarchical dispatch; plain services ignored it.
+                shards=legacy.get("shards") if wants_hierarchy else None,  # type: ignore[arg-type]
+                optimize=legacy.get("optimize"),  # type: ignore[arg-type]
+            )
+        if plan is None and engine is not None:
+            plan = engine.config.plan
         self.session = session
         self.engine = engine
         self.max_queue = max_queue
         self.max_batch = max_batch
-        self.hierarchical = hierarchical
-        self.shards = shards
-        self.optimize = optimize
+        self.plan = resolve_plan(plan)
         self.verify = verify
         self.stats = ServiceStats()
         self._queue: asyncio.Queue[_PendingRequest] | None = None
@@ -232,7 +290,8 @@ class PlutoService:
         #: batch (arrival order is preserved).
         self._pending: _PendingRequest | None = None
         self._next_id = 0
-        #: Warm executors, one per backend selection seen in requests.
+        #: Warm executors, keyed on backend selection plus the plan
+        #: facets that shape the executor (tier, placement).
         self._controllers: dict[object, object] = {}
         self._dispatchers: dict[object, object] = {}
 
@@ -328,6 +387,7 @@ class PlutoService:
         inputs: Mapping[str, np.ndarray],
         *,
         session: "PlutoSession | None" = None,
+        plan: "ExecutionPlan | str | None" = None,
         optimize: bool | None = None,
     ) -> ServedResult:
         """Queue one request and await its result.
@@ -335,10 +395,11 @@ class PlutoService:
         Blocks (asynchronously) while the bounded queue is full — this is
         the service's backpressure: a flood of producers is slowed to the
         rate the executor drains, instead of buffering without bound.
-        ``optimize`` overrides the service-wide optimizer default for
-        this request.
+        ``plan`` overrides the service-wide execution plan for this
+        request; the deprecated ``optimize=`` keyword adjusts only the
+        plan's optimizer flag (with a ``DeprecationWarning``).
         """
-        request = self._make_request(inputs, session, optimize)
+        request = self._make_request(inputs, session, plan, optimize)
         queue = self._require_queue()
         await queue.put(request)
         self._note_depth(queue)
@@ -349,6 +410,7 @@ class PlutoService:
         inputs: Mapping[str, np.ndarray],
         *,
         session: "PlutoSession | None" = None,
+        plan: "ExecutionPlan | str | None" = None,
         optimize: bool | None = None,
     ) -> "asyncio.Future[ServedResult]":
         """Enqueue without waiting; shed load when the queue is full.
@@ -357,9 +419,10 @@ class PlutoService:
         call time, so a producer can catch
         :class:`~repro.errors.ServiceOverloadError` and back off
         immediately.  Returns a future resolving to the
-        :class:`ServedResult`.
+        :class:`ServedResult`.  ``plan`` / ``optimize`` as in
+        :meth:`submit`.
         """
-        request = self._make_request(inputs, session, optimize)
+        request = self._make_request(inputs, session, plan, optimize)
         queue = self._require_queue()
         try:
             queue.put_nowait(request)
@@ -371,10 +434,40 @@ class PlutoService:
         self._note_depth(queue)
         return request.future
 
+    def _request_plan(
+        self, plan: "ExecutionPlan | str | None", optimize: bool | None
+    ) -> "ExecutionPlan":
+        """The effective plan for one request: override or service-wide.
+
+        The deprecated per-request ``optimize=`` keyword keeps its old
+        meaning — it adjusts only the optimizer flag of the service-wide
+        plan (auto plans search with the flag pinned).
+        """
+        from repro.errors import ConfigurationError
+        from repro.plan.execution_plan import resolve_plan
+
+        if optimize is not None:
+            if plan is not None:
+                raise ConfigurationError(
+                    "submit() got both plan= and the deprecated optimize= "
+                    "keyword; pass only plan="
+                )
+            warnings.warn(
+                "submit(optimize=) is deprecated; pass "
+                "plan=ExecutionPlan(optimize=...) (or plan='auto') instead",
+                DeprecationWarning,
+                stacklevel=4,
+            )
+            return replace(self.plan, optimize=bool(optimize))
+        if plan is None:
+            return self.plan
+        return resolve_plan(plan)
+
     def _make_request(
         self,
         inputs: Mapping[str, np.ndarray],
         session: "PlutoSession | None",
+        plan: "ExecutionPlan | str | None" = None,
         optimize: bool | None = None,
     ) -> _PendingRequest:
         if not self.running:
@@ -383,9 +476,28 @@ class PlutoService:
                 "or call start() first"
             )
         source = session if session is not None else self.session
+        request_plan = self._request_plan(plan, optimize)
         calls = list(source.calls)
+        planner_report: "PlannerReport | None" = None
+        if request_plan.is_auto:
+            from repro.backend.base import resolve_backend
+            from repro.plan.planner import plan_program
+
+            planned = plan_program(
+                calls,
+                self.engine,
+                request=request_plan,
+                modes=("single", "banks", "hierarchy"),
+                supports_batched=resolve_backend(
+                    source.backend
+                ).supports_batched,
+                subject="request",
+            )
+            request_plan, planner_report = planned.plan, planned.report
+        optimized = request_plan.optimize
+        if optimized is None:
+            optimized = self.engine is not None and self.engine.config.optimize
         report = None
-        optimized = self.optimize if optimize is None else optimize
         if optimized:
             from repro.opt.pipeline import optimize_cached
 
@@ -414,6 +526,8 @@ class PlutoService:
             structure_key=structure_key,
             optimized=optimized,
             optimization=report,
+            plan=request_plan,
+            planner=planner_report,
         )
         self._next_id += 1
         return request
@@ -502,8 +616,13 @@ class PlutoService:
     def _execute_batch(self, batch: "list[_PendingRequest]") -> None:
         self.stats.batches += 1
         self.stats.coalesced += len(batch) - 1
-        fusible = len(batch) > 1 and not self.hierarchical
-        if fusible and self._execute_batch_fused(batch):
+        # Only plain single-bank plans fuse into one batched pass;
+        # sharded and hierarchical plans go through their dispatchers.
+        leader_plan = batch[0].plan
+        simple = leader_plan is None or (
+            not leader_plan.hierarchical and leader_plan.effective_shards == 1
+        )
+        if len(batch) > 1 and simple and self._execute_batch_fused(batch):
             return
         for request in batch:
             begin = time.monotonic()
@@ -529,6 +648,12 @@ class PlutoService:
                 backend=result.backend,
                 result=result,
                 optimization=request.optimization,
+                execution_plan=request.plan,
+                planner=(
+                    request.planner.with_measured(result.latency_ns)
+                    if request.planner is not None
+                    else None
+                ),
             )
             self._account_served(request, served)
             if not request.future.cancelled():
@@ -608,45 +733,80 @@ class PlutoService:
                 backend=result.backend,
                 result=result,
                 optimization=request.optimization,
+                execution_plan=request.plan,
+                planner=(
+                    request.planner.with_measured(result.latency_ns)
+                    if request.planner is not None
+                    else None
+                ),
             )
             self._account_served(request, served)
             if not request.future.cancelled():
                 request.future.set_result(served)
         return True
 
+    @staticmethod
+    def _wants_jit(request: _PendingRequest) -> bool:
+        return request.plan is None or request.plan.tier != "interpreted"
+
     def _controller_for(self, request: _PendingRequest):
-        """The warm :class:`PlutoController` for a request's backend."""
-        key = request.backend_key
+        """The warm :class:`PlutoController` for a request's backend/tier."""
+        jit = self._wants_jit(request)
+        key = (request.backend_key, jit)
         controller = self._controllers.get(key)
         if controller is None:
             from repro.controller.executor import PlutoController
 
-            controller = PlutoController(self.engine, backend=request.backend)
+            controller = PlutoController(
+                self.engine, backend=request.backend, jit=jit
+            )
             self._controllers[key] = controller
         return controller
 
     def _execute(self, request: _PendingRequest) -> "ExecutionResult":
-        """Run one request on a warm executor for *its* backend.
+        """Run one request on a warm executor for *its* backend and plan.
 
-        Executors are cached per backend selection, so a request that
+        Executors are cached per backend selection plus the plan facets
+        that shape them (tier, hierarchy placement), so a request that
         arrived with an overriding session (e.g. a functional-backend
         session on a vectorized service) runs on the backend that session
         chose, while same-backend requests keep sharing LUT caches.
+        ``request.calls`` is already post-optimization, so sharded and
+        hierarchical dispatch never re-optimizes.
         """
         from repro.api.session import compile_cached
 
-        key = request.backend_key
-        if self.hierarchical:
+        plan = request.plan
+        jit = self._wants_jit(request)
+        if plan is not None and plan.hierarchical:
+            key = ("hierarchy", request.backend_key, plan.channels, plan.ranks, jit)
             dispatcher = self._dispatchers.get(key)
             if dispatcher is None:
                 from repro.controller.hierarchy import HierarchicalDispatcher
 
                 dispatcher = HierarchicalDispatcher(
-                    self.engine, backend=request.backend
+                    self.engine,
+                    backend=request.backend,
+                    jit=jit,
+                    channels=plan.channels,
+                    ranks=plan.ranks,
                 )
                 self._dispatchers[key] = dispatcher
             return dispatcher.execute(
-                request.calls, request.inputs, shards=self.shards
+                request.calls, request.inputs, shards=plan.shards
+            )
+        if plan is not None and plan.effective_shards > 1:
+            key = ("banks", request.backend_key, jit)
+            dispatcher = self._dispatchers.get(key)
+            if dispatcher is None:
+                from repro.controller.dispatch import ParallelDispatcher
+
+                dispatcher = ParallelDispatcher(
+                    self.engine, backend=request.backend, jit=jit
+                )
+                self._dispatchers[key] = dispatcher
+            return dispatcher.execute(
+                request.calls, request.inputs, shards=plan.effective_shards
             )
         controller = self._controller_for(request)
         return controller.execute(

@@ -41,6 +41,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.core.engine import PlutoEngine
     from repro.opt.pipeline import OptimizedProgram
     from repro.opt.report import OptimizationReport
+    from repro.plan.execution_plan import ExecutionPlan
+    from repro.plan.planner import PlannerReport
 
 __all__ = [
     "PlutoSession",
@@ -156,11 +158,13 @@ def cache_stats() -> dict[str, dict]:
     from repro.dram.analytic import merge_cache_stats
     from repro.opt.compose import compose_cache_stats
     from repro.opt.pipeline import optimizer_cache_stats
+    from repro.plan.planner import planner_cache_stats
 
     return {
         "programs": {"size": program_cache_size()},
         "verifier": verifier_cache_stats(),
         "optimizer": optimizer_cache_stats(),
+        "planner": planner_cache_stats(),
         "lut_compositions": compose_cache_stats(),
         "trace_templates": trace_template_stats(),
         "compiled_exec": compiled_exec_stats(),
@@ -190,10 +194,12 @@ def clear_all_caches() -> None:
     from repro.dram.analytic import clear_merge_cache
     from repro.opt.compose import clear_compose_cache
     from repro.opt.pipeline import clear_optimizer_cache
+    from repro.plan.planner import clear_planner_cache
 
     clear_program_cache()
     clear_verifier_cache()
     clear_optimizer_cache()
+    clear_planner_cache()
     clear_compose_cache()
     clear_trace_templates()
     clear_compiled_programs()
@@ -219,6 +225,10 @@ class BatchResult:
     #: Scheduler-derived makespan of a bank-parallel batch (None when the
     #: jobs genuinely ran back to back in one bank).
     makespan_ns: float | None = None
+    #: The concrete plan the batch ran under (set by ``run_batch``).
+    execution_plan: "ExecutionPlan | None" = None
+    #: The auto-planner's report when the plan came from ``plan="auto"``.
+    planner: "PlannerReport | None" = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -260,6 +270,30 @@ class BatchResult:
     def lut_queries(self) -> int:
         """LUT queries executed across the whole batch."""
         return sum(result.lut_queries for result in self.results)
+
+
+#: Sentinel distinguishing "legacy keyword not passed" from any real
+#: value (``None`` is meaningful for ``run_hierarchical(shards=)``).
+_LEGACY_UNSET: object = object()
+
+
+@dataclass
+class _PreparedExecution:
+    """Everything the ``run*`` entry points share, resolved once.
+
+    The product of :meth:`PlutoSession._prepare_execution`: the concrete
+    plan (auto plans resolved through the cost-based planner), the
+    post-optimization call list, the optimizer/planner reports, and —
+    for unsharded routes — the verified compiled program with its
+    structure key.
+    """
+
+    plan: "ExecutionPlan"
+    calls: "list[ApiCall]"
+    optimization: "OptimizationReport | None"
+    planner: "PlannerReport | None"
+    compiled: "CompiledProgram | None"
+    structure_key: "tuple | None"
 
 
 @dataclass
@@ -526,18 +560,139 @@ class PlutoSession:
         )
         return compiled, structure_key
 
-    def _controller(self, engine: "PlutoEngine | None"):
+    def _controller(self, engine: "PlutoEngine | None", *, jit: bool = True):
         from repro.controller.executor import PlutoController
 
-        return PlutoController(engine, backend=self.backend)
+        return PlutoController(engine, backend=self.backend, jit=jit)
+
+    def _resolve_plan_argument(
+        self,
+        plan: "ExecutionPlan | str | None",
+        engine: "PlutoEngine | None",
+        *,
+        entry: str,
+        hierarchical: bool,
+        shards: object = _LEGACY_UNSET,
+        optimize: object = _LEGACY_UNSET,
+    ) -> "ExecutionPlan":
+        """One ``ExecutionPlan`` from ``plan=`` plus the deprecated knobs.
+
+        The legacy ``shards=`` / ``optimize=`` keywords still work as
+        :class:`DeprecationWarning` shims that build the equivalent
+        explicit plan; combining them with ``plan=`` is rejected.  With
+        neither given, the engine's ``PlutoConfig(plan=...)`` default
+        applies.
+        """
+        from dataclasses import replace
+
+        from repro.plan.execution_plan import ExecutionPlan, resolve_plan
+
+        legacy: dict[str, object] = {}
+        if shards is not _LEGACY_UNSET:
+            legacy["shards"] = shards
+        if optimize is not _LEGACY_UNSET:
+            legacy["optimize"] = optimize
+        if legacy:
+            if plan is not None:
+                raise ConfigurationError(
+                    f"{entry}() got both plan= and the deprecated "
+                    f"{sorted(legacy)} keyword(s); pass only plan="
+                )
+            names = ", ".join(f"{name}=" for name in sorted(legacy))
+            warnings.warn(
+                f"{entry}({names}) is deprecated; pass "
+                "plan=ExecutionPlan(...) (or plan='auto') instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return ExecutionPlan(
+                shards=legacy.get("shards"),  # type: ignore[arg-type]
+                hierarchical=hierarchical,
+                optimize=legacy.get("optimize"),  # type: ignore[arg-type]
+            )
+        if plan is None and engine is not None:
+            plan = engine.config.plan
+        resolved = resolve_plan(plan)
+        if hierarchical and not resolved.is_auto and not resolved.hierarchical:
+            resolved = replace(resolved, hierarchical=True)
+        return resolved
+
+    def _prepare_execution(
+        self,
+        plan: "ExecutionPlan",
+        engine: "PlutoEngine | None",
+        *,
+        modes: tuple[str, ...],
+    ) -> _PreparedExecution:
+        """The shared ``run*`` prologue: plan -> optimize -> verify -> compile.
+
+        Auto plans resolve through the cost-based planner
+        (:func:`repro.plan.planner.plan_program`, memoized on the
+        program structure key) into a concrete plan first; the program
+        is then optimized per the plan, verified per the engine's verify
+        mode, and — on the unsharded route — compiled through the
+        structure-keyed cache.
+        """
+        from repro.backend.base import resolve_backend
+
+        planner_report: "PlannerReport | None" = None
+        if plan.is_auto:
+            from repro.plan.planner import plan_program
+
+            planned = plan_program(
+                self.calls,
+                engine,
+                request=plan,
+                modes=modes,
+                supports_batched=resolve_backend(
+                    self.backend
+                ).supports_batched,
+            )
+            plan, planner_report = planned.plan, planned.report
+        calls, report = self._calls_for_run(plan.optimize, engine)
+        if plan.hierarchical or plan.effective_shards > 1:
+            self._verify_for_run(calls, engine)
+            compiled, structure_key = None, None
+        else:
+            compiled, structure_key = self._compile_verified(calls, engine)
+        return _PreparedExecution(
+            plan=plan,
+            calls=calls,
+            optimization=report,
+            planner=planner_report,
+            compiled=compiled,
+            structure_key=structure_key,
+        )
+
+    @staticmethod
+    def _attach_reports(
+        result: "ExecutionResult", prepared: _PreparedExecution
+    ) -> "ExecutionResult":
+        result.optimization = prepared.optimization
+        result.execution_plan = prepared.plan
+        if prepared.planner is not None:
+            result.planner = prepared.planner.with_measured(result.latency_ns)
+        return result
+
+    @staticmethod
+    def _attach_batch_reports(
+        result: BatchResult, prepared: _PreparedExecution
+    ) -> BatchResult:
+        result.execution_plan = prepared.plan
+        if prepared.planner is not None:
+            result.planner = prepared.planner.with_measured(
+                result.total_latency_ns
+            )
+        return result
 
     def run(
         self,
         inputs: Mapping[str, np.ndarray],
         *,
         engine: "PlutoEngine | None" = None,
-        shards: int = 1,
-        optimize: bool | None = None,
+        plan: "ExecutionPlan | str | None" = None,
+        shards: object = _LEGACY_UNSET,
+        optimize: object = _LEGACY_UNSET,
     ) -> "ExecutionResult | ShardedExecutionResult":
         """Compile (cached) and execute this program on the session backend.
 
@@ -546,42 +701,68 @@ class PlutoSession:
         :class:`ExecutionResult` carries the outputs and the full command
         trace, identically for every backend.
 
-        ``shards > 1`` partitions the element space across that many DRAM
-        banks and executes the shards bank-parallel — in one fused batched
-        pass on batched-capable backends (the vectorized default), so the
-        multi-shard run costs roughly one shard's work: the outputs are
-        bit-identical to the unsharded run, and ``latency_ns`` becomes the
-        scheduler-derived makespan under cross-bank contention — tRRD
-        always, tFAW per the engine's ``tfaw_fraction`` (0, the default,
-        is the paper's unthrottled configuration; pass an engine with
-        ``tfaw_fraction=1.0`` for the nominal four-activation window).
-        See :class:`~repro.controller.dispatch.ShardedExecutionResult`.
+        ``plan`` is the unified execution front door: an
+        :class:`~repro.plan.ExecutionPlan` describing the shard count,
+        hierarchy placement, optimizer, and execution tier — or the
+        string ``"auto"``, which hands the choice to the cost-based
+        planner (candidates priced with the analytic makespan model,
+        chosen plans memoized on the program structure key; the result
+        then carries a :class:`~repro.plan.PlannerReport` as
+        ``result.planner``).  ``None`` defers to the engine's
+        ``PlutoConfig(plan=...)`` default.  Outputs are bit-identical
+        whichever plan executes.
 
+        Sharded plans partition the element space across DRAM banks and
+        execute bank-parallel — in one fused batched pass on
+        batched-capable backends (the vectorized default) — and
+        ``latency_ns`` becomes the scheduler-derived makespan under
+        cross-bank tRRD/tFAW contention; hierarchical plans additionally
+        spread shards over channels and ranks.  A plan with
         ``optimize=True`` runs the program optimizer (:mod:`repro.opt`)
-        before compilation: LUT chains fuse, duplicate computations are
-        reused, dead ops disappear, and identical tables share one load
-        — with bit-identical outputs.  ``None`` (the default) defers to
-        the engine's ``PlutoConfig(optimize=...)``.  The result carries
-        the :class:`~repro.opt.report.OptimizationReport` as
-        ``result.optimization``, and the compile / trace-template /
-        makespan caches all key on the *optimized* structure.
+        before compilation, with the
+        :class:`~repro.opt.report.OptimizationReport` on
+        ``result.optimization``.
+
+        The ``shards=`` / ``optimize=`` keywords are deprecated shims
+        that build the equivalent explicit plan (with a
+        ``DeprecationWarning``).
         """
-        if shards < 1:
-            raise ConfigurationError("shard count must be >= 1")
-        calls, report = self._calls_for_run(optimize, engine)
-        if shards > 1:
-            self._verify_for_run(calls, engine)
+        resolved = self._resolve_plan_argument(
+            plan,
+            engine,
+            entry="run",
+            hierarchical=False,
+            shards=shards,
+            optimize=optimize,
+        )
+        prepared = self._prepare_execution(
+            resolved, engine, modes=("single", "banks", "hierarchy")
+        )
+        chosen = prepared.plan
+        jit = chosen.tier != "interpreted"
+        if chosen.hierarchical:
+            from repro.controller.hierarchy import HierarchicalDispatcher
+
+            result = HierarchicalDispatcher(
+                engine,
+                backend=self.backend,
+                jit=jit,
+                channels=chosen.channels,
+                ranks=chosen.ranks,
+            ).execute(prepared.calls, inputs, shards=chosen.shards)
+        elif chosen.effective_shards > 1:
             from repro.controller.dispatch import ParallelDispatcher
 
-            dispatcher = ParallelDispatcher(engine, backend=self.backend)
-            result = dispatcher.execute(calls, inputs, shards=shards)
+            result = ParallelDispatcher(
+                engine, backend=self.backend, jit=jit
+            ).execute(prepared.calls, inputs, shards=chosen.effective_shards)
         else:
-            compiled, structure_key = self._compile_verified(calls, engine)
-            result = self._controller(engine).execute(
-                compiled, dict(inputs), structure_key=structure_key
+            result = self._controller(engine, jit=jit).execute(
+                prepared.compiled,
+                dict(inputs),
+                structure_key=prepared.structure_key,
             )
-        result.optimization = report
-        return result
+        return self._attach_reports(result, prepared)
 
     def run_batch(
         self,
@@ -589,7 +770,8 @@ class PlutoSession:
         *,
         engine: "PlutoEngine | None" = None,
         parallel: bool = False,
-        optimize: bool | None = None,
+        plan: "ExecutionPlan | str | None" = None,
+        optimize: object = _LEGACY_UNSET,
     ) -> BatchResult:
         """Execute this program once per input set in ``batch``.
 
@@ -599,14 +781,27 @@ class PlutoSession:
         across the module's banks and the batch's ``total_latency_ns``
         becomes the scheduler-derived makespan of the merged command
         streams (the naive sum stays available as ``serial_latency_ns``).
-        ``optimize`` runs the program optimizer first (see :meth:`run`);
-        the whole batch then executes the optimized program.
+
+        ``plan`` accepts an :class:`~repro.plan.ExecutionPlan` or
+        ``"auto"`` exactly as in :meth:`run`, restricted to unsharded
+        plans — each job is one whole program; per-job sharding goes
+        through :meth:`run`.  The deprecated ``optimize=`` keyword
+        builds the equivalent plan with a ``DeprecationWarning``.
         """
-        calls, _ = self._calls_for_run(optimize, engine)
-        compiled, structure_key = self._compile_verified(calls, engine)
-        controller = self._controller(engine)
+        resolved = self._resolve_plan_argument(
+            plan, engine, entry="run_batch", hierarchical=False, optimize=optimize
+        )
+        prepared = self._prepare_execution(resolved, engine, modes=("single",))
+        chosen = prepared.plan
+        if chosen.hierarchical or chosen.effective_shards > 1:
+            raise ConfigurationError(
+                "run_batch executes each job as one unsharded program; "
+                "sharded/hierarchical plans go through run()"
+            )
+        compiled, structure_key = prepared.compiled, prepared.structure_key
+        controller = self._controller(engine, jit=chosen.tier != "interpreted")
         if not parallel:
-            return BatchResult(
+            batch_result = BatchResult(
                 results=[
                     controller.execute(
                         compiled, dict(inputs), structure_key=structure_key
@@ -614,6 +809,7 @@ class PlutoSession:
                     for inputs in batch
                 ]
             )
+            return self._attach_batch_reports(batch_result, prepared)
         from repro.controller.dispatch import merged_makespan_ns
 
         jobs = list(batch)
@@ -641,15 +837,18 @@ class PlutoSession:
         makespan = merged_makespan_ns(
             [result.trace.commands for result in results], controller.engine
         )
-        return BatchResult(results=results, makespan_ns=makespan)
+        return self._attach_batch_reports(
+            BatchResult(results=results, makespan_ns=makespan), prepared
+        )
 
     def run_hierarchical(
         self,
         inputs: Mapping[str, np.ndarray],
         *,
         engine: "PlutoEngine | None" = None,
-        shards: int | None = None,
-        optimize: bool | None = None,
+        plan: "ExecutionPlan | str | None" = None,
+        shards: object = _LEGACY_UNSET,
+        optimize: object = _LEGACY_UNSET,
     ) -> "HierarchicalExecutionResult":
         """Execute this program spread over the full DRAM hierarchy.
 
@@ -658,19 +857,42 @@ class PlutoSession:
         ``PlutoConfig(channels=..., ranks=...)`` to model more than the
         Table 3 single-channel module).  Outputs are bit-identical to
         :meth:`run`; ``latency_ns`` is the hierarchical makespan and the
-        result decomposes the speedup per level.  ``shards`` defaults to
-        every bank in the device.  ``optimize`` runs the program
-        optimizer first (see :meth:`run`): the shard planner then plans
-        over the optimized call tuple, so every shard executes the
-        rewritten program.
+        result decomposes the speedup per level.
+
+        ``plan`` follows :meth:`run` but is forced hierarchical:
+        explicit plans may narrow the placement
+        (``ExecutionPlan(hierarchical=True, channels=..., ranks=...)``)
+        or pin the shard count, and ``"auto"`` searches hierarchical
+        candidates only.  The deprecated ``shards=`` / ``optimize=``
+        keywords build the equivalent plan with a
+        ``DeprecationWarning``; shards default to every bank in the
+        device.
         """
         from repro.controller.hierarchy import HierarchicalDispatcher
 
-        calls, report = self._calls_for_run(optimize, engine)
-        self._verify_for_run(calls, engine)
-        dispatcher = HierarchicalDispatcher(engine, backend=self.backend)
-        result = dispatcher.execute(calls, inputs, shards=shards)
-        result.optimization = report
+        resolved = self._resolve_plan_argument(
+            plan,
+            engine,
+            entry="run_hierarchical",
+            hierarchical=True,
+            shards=shards,
+            optimize=optimize,
+        )
+        prepared = self._prepare_execution(resolved, engine, modes=("hierarchy",))
+        chosen = prepared.plan
+        if not chosen.hierarchical:
+            raise ConfigurationError(
+                "run_hierarchical needs a hierarchical plan; got "
+                f"{chosen.label()!r}"
+            )
+        result = HierarchicalDispatcher(
+            engine,
+            backend=self.backend,
+            jit=chosen.tier != "interpreted",
+            channels=chosen.channels,
+            ranks=chosen.ranks,
+        ).execute(prepared.calls, inputs, shards=chosen.shards)
+        self._attach_reports(result, prepared)
         return result
 
     def serve(
@@ -679,9 +901,10 @@ class PlutoSession:
         engine: "PlutoEngine | None" = None,
         max_queue: int = 64,
         max_batch: int = 16,
-        hierarchical: bool = False,
-        shards: int | None = None,
-        optimize: bool = False,
+        plan: "ExecutionPlan | str | None" = None,
+        hierarchical: object = _LEGACY_UNSET,
+        shards: object = _LEGACY_UNSET,
+        optimize: object = _LEGACY_UNSET,
         verify: bool = True,
     ) -> "PlutoService":
         """An async serving frontend bound to this session's program.
@@ -689,10 +912,13 @@ class PlutoSession:
         Returns a :class:`~repro.api.service.PlutoService` (use it as an
         async context manager) with a bounded request queue, structure-key
         batch coalescing, and per-request latency accounting.
-        ``optimize=True`` runs every request through the program
-        optimizer, and requests coalesce on their *post-optimization*
-        structure key.  ``verify=True`` (the default) rejects malformed
-        request programs at submission with
+
+        ``plan`` is the service-wide execution plan (see :meth:`run`);
+        ``"auto"`` plans each distinct request structure once through the
+        cost-based planner.  The deprecated ``hierarchical=`` /
+        ``shards=`` / ``optimize=`` keywords build the equivalent plan
+        with a ``DeprecationWarning``.  ``verify=True`` (the default)
+        rejects malformed request programs at submission with
         :class:`~repro.errors.VerificationError` carrying the verifier's
         diagnostics.  See :mod:`repro.api.service`.
         """
@@ -703,6 +929,7 @@ class PlutoSession:
             engine=engine,
             max_queue=max_queue,
             max_batch=max_batch,
+            plan=plan,
             hierarchical=hierarchical,
             shards=shards,
             optimize=optimize,

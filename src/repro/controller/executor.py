@@ -46,6 +46,8 @@ from repro.utils.memo import BoundedMemo
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.opt.report import OptimizationReport
+    from repro.plan.execution_plan import ExecutionPlan
+    from repro.plan.planner import PlannerReport
 
 __all__ = [
     "ExecutionResult",
@@ -120,6 +122,12 @@ class ExecutionResult:
     #: Report of the pre-compilation program optimization, when one ran
     #: (``PlutoSession.run(..., optimize=True)`` and friends).
     optimization: "OptimizationReport | None" = None
+    #: The concrete :class:`~repro.plan.execution_plan.ExecutionPlan`
+    #: this execution ran under (set by the session front doors).
+    execution_plan: "ExecutionPlan | None" = None
+    #: The auto-planner's report when the plan was chosen by
+    #: ``plan="auto"`` (predicted vs measured makespan, candidates).
+    planner: "PlannerReport | None" = None
 
     @property
     def latency_ns(self) -> float:

@@ -384,6 +384,10 @@ class HierarchicalDispatcher:
     :class:`~repro.controller.dispatch.ParallelDispatcher`: ``None``
     (default) batches the shards into one fused pass on batched-capable
     backends, ``False`` forces the per-shard oracle loop.
+
+    ``channels`` / ``ranks`` optionally *narrow* the placement to a
+    subset of the engine's interface hierarchy (the auto-planner prices
+    partial placements); ``None`` uses the engine geometry's full count.
     """
 
     def __init__(
@@ -392,10 +396,31 @@ class HierarchicalDispatcher:
         backend: str | ExecutionBackend = "vectorized",
         *,
         fused: bool | None = None,
+        jit: bool = True,
+        channels: int | None = None,
+        ranks: int | None = None,
     ) -> None:
         self.engine = engine if engine is not None else PlutoEngine(PlutoConfig())
-        self.controller = PlutoController(self.engine, backend=backend)
-        self.planner = HierarchyPlanner(self.engine.geometry)
+        geometry = self.engine.geometry
+        if channels is not None and not 1 <= channels <= geometry.channels:
+            raise ConfigurationError(
+                f"placement channels must be within [1, {geometry.channels}], "
+                f"got {channels}"
+            )
+        if ranks is not None and not 1 <= ranks <= geometry.ranks:
+            raise ConfigurationError(
+                f"placement ranks must be within [1, {geometry.ranks}], "
+                f"got {ranks}"
+            )
+        self.channels = channels if channels is not None else geometry.channels
+        self.ranks = ranks if ranks is not None else geometry.ranks
+        placement = geometry
+        if (self.channels, self.ranks) != (geometry.channels, geometry.ranks):
+            placement = replace(
+                geometry, channels=self.channels, ranks=self.ranks
+            )
+        self.controller = PlutoController(self.engine, backend=backend, jit=jit)
+        self.planner = HierarchyPlanner(placement)
         self.fused = fused
 
     def execute(
@@ -423,7 +448,6 @@ class HierarchicalDispatcher:
         shard_results: list[ExecutionResult],
     ) -> HierarchicalExecutionResult:
         engine = self.engine
-        geometry = engine.geometry
         merged_trace = CommandTrace(timing=engine.timing, energy=engine.energy)
         for result in shard_results:
             merged_trace.merge(result.trace)
@@ -436,10 +460,10 @@ class HierarchicalDispatcher:
         # keys match the plans' (channel, rank) positions).
         bank_only = hierarchical_makespan_ns(streams, engine, channels=1, ranks=1)
         rank_parallel = hierarchical_makespan_ns(
-            streams, engine, channels=1, ranks=geometry.ranks
+            streams, engine, channels=1, ranks=self.ranks
         )
         makespan, rank_makespans, channel_makespans = _schedule_hierarchy(
-            streams, engine, channels=geometry.channels, ranks=geometry.ranks
+            streams, engine, channels=self.channels, ranks=self.ranks
         )
 
         outputs = {

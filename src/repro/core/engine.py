@@ -13,6 +13,7 @@ the tFAW constraint into a single object that can
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.core.analytical import PlutoCostModel
 from repro.core.designs import PlutoDesign
@@ -22,8 +23,11 @@ from repro.core.subarray import PlutoSubarray
 from repro.dram.energy import DDR4_ENERGY, HMC_ENERGY, EnergyParameters
 from repro.dram.geometry import DDR4_8GB, HMC_3DS_GEOMETRY, DRAMGeometry
 from repro.dram.timing import DDR4_2400, HMC_3DS, TimingParameters
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, VerificationError
 from repro.inmem.salp import salp_speedup
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.plan.execution_plan import ExecutionPlan
 
 __all__ = ["MemoryKind", "PlutoConfig", "CostReport", "PlutoEngine"]
 
@@ -76,6 +80,12 @@ class PlutoConfig:
     never.  Reports are memoized on the program structure key, so a
     served shape is verified once; errors raise
     :class:`~repro.errors.VerificationError` with the diagnostics.
+
+    ``plan`` sets the default :class:`~repro.plan.ExecutionPlan` for
+    every execution routed through an engine built from this
+    configuration — ``"auto"`` turns on the cost-based auto-planner by
+    default; a per-call ``plan=`` still overrides it.  Plans that
+    contradict the configured geometry are rejected at construction.
     """
 
     design: PlutoDesign = PlutoDesign.BSA
@@ -86,6 +96,7 @@ class PlutoConfig:
     ranks: int | None = None
     optimize: bool = False
     verify: str = "off"
+    plan: "ExecutionPlan | str | None" = None
 
     def __post_init__(self) -> None:
         if self.verify not in ("always", "debug", "off"):
@@ -106,6 +117,43 @@ class PlutoConfig:
             raise ConfigurationError("channel count must be positive")
         if self.ranks is not None and self.ranks <= 0:
             raise ConfigurationError("rank count must be positive")
+        if self.plan is not None:
+            self._check_plan()
+
+    def _check_plan(self) -> None:
+        """Reject a default plan that contradicts this configuration.
+
+        A plan contradicting its geometry (``shards`` beyond the
+        addressable banks, channel/rank placement wider than the device)
+        fails here with the shared :class:`Diagnostic` records instead
+        of deep inside dispatch; ``"auto"`` with explicit geometry
+        pinned is rejected by :class:`ExecutionPlan` itself.
+        """
+        from repro.plan.execution_plan import (
+            ExecutionPlan,
+            plan_conflict_diagnostics,
+            resolve_plan,
+        )
+
+        if not isinstance(self.plan, (str, ExecutionPlan)):
+            raise ConfigurationError(
+                "PlutoConfig(plan=) takes an ExecutionPlan, 'auto', or "
+                f"None, got {type(self.plan).__name__}"
+            )
+        plan = resolve_plan(self.plan)
+        if plan.is_auto:
+            return
+        geometry = _MEMORY_PRESETS[self.memory][0]
+        if self.channels is not None or self.ranks is not None:
+            geometry = replace(
+                geometry,
+                channels=self.channels or geometry.channels,
+                ranks=self.ranks or geometry.ranks,
+            )
+        diagnostics = plan_conflict_diagnostics(plan, geometry)
+        errors = [d for d in diagnostics if d.is_error]
+        if errors:
+            raise VerificationError(errors, subject="PlutoConfig plan")
 
     @property
     def label(self) -> str:

@@ -21,6 +21,7 @@ from repro.core.engine import DDR4, THREE_DS, PlutoConfig, PlutoEngine
 from repro.dram.energy import DDR4_ENERGY
 from repro.dram.timing import DDR4_2400
 from repro.evaluation.harness import EvaluationHarness, default_pluto_configs
+from repro.plan.execution_plan import ExecutionPlan
 from repro.utils.units import geometric_mean
 from repro.workloads.registry import figure7_workloads, figure9_workloads
 
@@ -37,6 +38,7 @@ __all__ = [
     "figure13_tfaw_sensitivity",
     "figure13_sharded_tfaw",
     "figure14_salp_scaling",
+    "figure_auto_planner",
     "figure_execution_tiers",
     "figure_hierarchy_scaling",
     "figure_optimizer_gains",
@@ -530,9 +532,13 @@ def figure_optimizer_gains(
     )
     for program in optimizer_workload_programs(elements=elements, seed=seed):
         session = program.session
-        plain = session.run(program.inputs, engine=engine, shards=shards)
+        plain = session.run(
+            program.inputs, engine=engine, plan=ExecutionPlan(shards=shards)
+        )
         optimized = session.run(
-            program.inputs, engine=engine, shards=shards, optimize=True
+            program.inputs,
+            engine=engine,
+            plan=ExecutionPlan(shards=shards, optimize=True),
         )
         for name in plain.outputs:
             if not np.array_equal(plain.outputs[name], optimized.outputs[name]):
@@ -566,6 +572,88 @@ def figure_optimizer_gains(
                     if plain.makespan_ns
                     else 0.0
                 ),
+            }
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Auto-planner — cost-based plan choice vs the static grid
+# --------------------------------------------------------------------- #
+def figure_auto_planner(
+    elements: int = 4096,
+    seed: int = 0,
+    shard_grid: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> FigureResult:
+    """Auto-planned makespan against the static configuration grid.
+
+    Every registry family (:func:`repro.workloads.programs.optimizer_workload_programs`)
+    runs once with ``plan="auto"`` and once per static configuration in
+    ``shard_grid`` x optimizer on/off on the pLUTo-BSA engine.  Each row
+    records the planner's choice next to the best, worst, and naive
+    default (one shard, no optimizer) static makespans, plus the
+    planner's predicted-vs-measured error — the analytic model prices
+    candidates from the same trace templates execution charges, so the
+    error is exactly zero.  Outputs of the auto run are compared bit for
+    bit against the default static run.
+    """
+    from repro.workloads.programs import optimizer_workload_programs
+
+    engine = PlutoEngine(PlutoConfig(design=PlutoDesign.BSA))
+    result = FigureResult(
+        name="Auto-planner gains",
+        description=(
+            "Cost-based auto-planning vs the static shard/optimizer grid "
+            "(pLUTo-BSA)"
+        ),
+    )
+    for program in optimizer_workload_programs(elements=elements, seed=seed):
+        session = program.session
+        static: dict[str, float] = {}
+        default_run = None
+        for shards in shard_grid:
+            for optimize in (False, True):
+                plan = ExecutionPlan(shards=shards, optimize=optimize)
+                run = session.run(program.inputs, engine=engine, plan=plan)
+                static[plan.label()] = run.latency_ns
+                if shards == 1 and not optimize:
+                    default_run = run
+        assert default_run is not None
+        auto = session.run(program.inputs, engine=engine, plan="auto")
+        for name in default_run.outputs:
+            if not np.array_equal(default_run.outputs[name], auto.outputs[name]):
+                raise AssertionError(
+                    f"{program.name}: auto-planned output {name!r} diverged"
+                )
+        best_label = min(static, key=static.__getitem__)
+        worst_label = max(static, key=static.__getitem__)
+        report = auto.planner
+        result.rows.append(
+            {
+                "workload": program.name,
+                "family": program.family,
+                "auto_plan": auto.execution_plan.label(),
+                "auto_makespan_ns": auto.latency_ns,
+                "best_static": best_label,
+                "best_static_makespan_ns": static[best_label],
+                "worst_static": worst_label,
+                "worst_static_makespan_ns": static[worst_label],
+                "default_makespan_ns": default_run.latency_ns,
+                "auto_vs_best": (
+                    auto.latency_ns / static[best_label]
+                    if static[best_label]
+                    else 1.0
+                ),
+                "auto_vs_default": (
+                    auto.latency_ns / default_run.latency_ns
+                    if default_run.latency_ns
+                    else 1.0
+                ),
+                "candidates": len(report.candidates) if report else 0,
+                "prediction_error": (
+                    report.prediction_error if report else None
+                ),
+                "planner_cached": bool(report.cached) if report else False,
             }
         )
     return result

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
+from repro.api.session import _LEGACY_UNSET
 from repro.baselines.base import BaselineCost
 from repro.baselines.pnm import PnmBaseline
 from repro.baselines.processor import (
@@ -31,6 +32,7 @@ from repro.workloads.base import Workload
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.session import PlutoSession
     from repro.controller.executor import ExecutionResult
+    from repro.plan.execution_plan import ExecutionPlan
 
 __all__ = ["PLUTO_CONFIG_LABELS", "WorkloadResult", "EvaluationHarness", "default_pluto_configs"]
 
@@ -143,8 +145,8 @@ class EvaluationHarness:
         #: Warm per-configuration executors (lazy): reusing controllers
         #: and dispatchers across execute_program calls keeps backend LUT
         #: gather arrays, trace templates, and scheduler memos hot.
-        self._controllers: dict[str, object] = {}
-        self._dispatchers: dict[str, object] = {}
+        self._controllers: dict[object, object] = {}
+        self._dispatchers: dict[object, object] = {}
 
     def evaluate(self, workload: Workload, elements: int | None = None) -> WorkloadResult:
         """Run one workload through every system."""
@@ -178,8 +180,9 @@ class EvaluationHarness:
         session: "PlutoSession",
         inputs: Mapping[str, np.ndarray],
         *,
-        shards: int = 1,
-        optimize: bool = False,
+        plan: "ExecutionPlan | str | None" = None,
+        shards: object = _LEGACY_UNSET,
+        optimize: object = _LEGACY_UNSET,
     ) -> "dict[str, ExecutionResult]":
         """Execute an API program bit-exactly on every configured engine.
 
@@ -190,51 +193,127 @@ class EvaluationHarness:
         program execution.  The harness backend (vectorized by default)
         makes this cheap enough to run across all configurations.
 
-        ``shards > 1`` executes each configuration bank-parallel through
-        the :class:`~repro.controller.dispatch.ParallelDispatcher` —
-        fused into one batched pass on batched-capable backends — and the
-        per-configuration results then expose the scheduler-derived
-        makespan as ``latency_ns`` (sum stays on ``serial_latency_ns``).
-        Controllers and dispatchers are reused across calls, so repeated
-        evaluations run on warm LUT, trace-template, and scheduler-memo
-        caches.
+        ``plan`` selects the execution configuration exactly as in
+        :meth:`PlutoSession.run` — sharded plans run bank-parallel
+        through the :class:`~repro.controller.dispatch.ParallelDispatcher`
+        (``latency_ns`` becomes the scheduler-derived makespan),
+        hierarchical plans spread over channels and ranks, and
+        ``plan="auto"`` asks the cost-based planner *per engine*, so
+        each configuration gets the plan that is cheapest on *its*
+        geometry (the chosen plan rides on ``result.execution_plan``
+        with the :class:`~repro.plan.PlannerReport` on
+        ``result.planner``).  Controllers and dispatchers are reused
+        across calls, so repeated evaluations run on warm LUT,
+        trace-template, and scheduler-memo caches.
 
-        ``optimize=True`` runs the program optimizer (:mod:`repro.opt`)
-        once — the rewrite is engine-independent — and every
-        configuration then compiles and executes the optimized program;
-        each result carries the shared report as ``.optimization``.
+        Plans with ``optimize=True`` run the program optimizer
+        (:mod:`repro.opt`) once — the rewrite is engine-independent —
+        and every configuration then compiles and executes the optimized
+        program; each result carries the shared report as
+        ``.optimization``.  The deprecated ``shards=`` / ``optimize=``
+        keywords build the equivalent plan with a ``DeprecationWarning``.
         """
+        import warnings
+
         from repro.api.session import compile_cached_with_key
+        from repro.backend.base import resolve_backend
         from repro.controller.dispatch import ParallelDispatcher
         from repro.controller.executor import PlutoController
+        from repro.controller.hierarchy import HierarchicalDispatcher
         from repro.errors import ConfigurationError
+        from repro.opt.pipeline import optimize_cached
+        from repro.plan.execution_plan import ExecutionPlan, resolve_plan
+        from repro.plan.planner import plan_program
 
-        if shards < 1:
-            raise ConfigurationError("shard count must be >= 1")
-        calls = list(session.calls)
-        report = None
-        if optimize:
-            optimized = session.optimize()
-            calls = list(optimized.calls)
-            report = optimized.report
-        results: dict[str, ExecutionResult] = {}
-        if shards > 1:
-            for label, engine in self.engines.items():
-                dispatcher = self._dispatchers.get(label)
-                if dispatcher is None:
-                    dispatcher = ParallelDispatcher(engine, backend=self.backend)
-                    self._dispatchers[label] = dispatcher
-                results[label] = dispatcher.execute(calls, inputs, shards=shards)
-                results[label].optimization = report
-            return results
-        compiled, structure_key = compile_cached_with_key(calls)
-        for label, engine in self.engines.items():
-            controller = self._controllers.get(label)
-            if controller is None:
-                controller = PlutoController(engine, backend=self.backend)
-                self._controllers[label] = controller
-            results[label] = controller.execute(
-                compiled, dict(inputs), structure_key=structure_key
+        legacy: dict[str, object] = {}
+        if shards is not _LEGACY_UNSET:
+            legacy["shards"] = shards
+        if optimize is not _LEGACY_UNSET:
+            legacy["optimize"] = optimize
+        if legacy:
+            if plan is not None:
+                raise ConfigurationError(
+                    "execute_program() got both plan= and the deprecated "
+                    f"{sorted(legacy)} keyword(s); pass only plan="
+                )
+            names = ", ".join(f"{name}=" for name in sorted(legacy))
+            warnings.warn(
+                f"execute_program({names}) is deprecated; pass "
+                "plan=ExecutionPlan(...) (or plan='auto') instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-            results[label].optimization = report
+            plan = ExecutionPlan(
+                shards=legacy.get("shards"),  # type: ignore[arg-type]
+                optimize=legacy.get("optimize"),  # type: ignore[arg-type]
+            )
+        resolved = resolve_plan(plan)
+        supports_batched = resolve_backend(self.backend).supports_batched
+
+        calls_plain = list(session.calls)
+        optimized_program = None
+
+        def calls_for(want_optimize: "bool | None") -> "tuple[list, object]":
+            nonlocal optimized_program
+            if want_optimize:
+                if optimized_program is None:
+                    optimized_program = optimize_cached(calls_plain)
+                return list(optimized_program.calls), optimized_program.report
+            return calls_plain, None
+
+        results: dict[str, ExecutionResult] = {}
+        for label, engine in self.engines.items():
+            chosen, planner_report = resolved, None
+            if resolved.is_auto:
+                planned = plan_program(
+                    calls_plain,
+                    engine,
+                    request=resolved,
+                    modes=("single", "banks", "hierarchy"),
+                    supports_batched=supports_batched,
+                    subject=f"harness program on {label}",
+                )
+                chosen, planner_report = planned.plan, planned.report
+            calls, report = calls_for(chosen.optimize)
+            jit = chosen.tier != "interpreted"
+            if chosen.hierarchical:
+                key = ("hierarchy", label, chosen.channels, chosen.ranks, jit)
+                dispatcher = self._dispatchers.get(key)
+                if dispatcher is None:
+                    dispatcher = HierarchicalDispatcher(
+                        engine,
+                        backend=self.backend,
+                        jit=jit,
+                        channels=chosen.channels,
+                        ranks=chosen.ranks,
+                    )
+                    self._dispatchers[key] = dispatcher
+                result = dispatcher.execute(calls, inputs, shards=chosen.shards)
+            elif chosen.effective_shards > 1:
+                key = ("banks", label, jit)
+                dispatcher = self._dispatchers.get(key)
+                if dispatcher is None:
+                    dispatcher = ParallelDispatcher(
+                        engine, backend=self.backend, jit=jit
+                    )
+                    self._dispatchers[key] = dispatcher
+                result = dispatcher.execute(
+                    calls, inputs, shards=chosen.effective_shards
+                )
+            else:
+                controller = self._controllers.get((label, jit))
+                if controller is None:
+                    controller = PlutoController(
+                        engine, backend=self.backend, jit=jit
+                    )
+                    self._controllers[(label, jit)] = controller
+                compiled, structure_key = compile_cached_with_key(calls)
+                result = controller.execute(
+                    compiled, dict(inputs), structure_key=structure_key
+                )
+            result.optimization = report
+            result.execution_plan = chosen
+            if planner_report is not None:
+                result.planner = planner_report.with_measured(result.latency_ns)
+            results[label] = result
         return results

@@ -240,6 +240,7 @@ class TestCacheStatsSurface:
             "lut_gather_arrays",
             "compiled_exec",
             "verifier",
+            "planner",
         }
         assert {"hits", "misses", "size"} <= set(stats["scheduler_merges"])
         assert stats is not cache_stats()  # fresh snapshots, not aliases

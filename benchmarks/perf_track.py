@@ -1,4 +1,4 @@
-"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr8.json``.
+"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr9.json``.
 
 CI's ``perf-track`` job calls this script.  It
 
@@ -10,8 +10,10 @@ CI's ``perf-track`` job calls this script.  It
    ``benchmarks/test_scheduler_speed.py`` (event-driven vs
    memoized+analytic makespan throughput),
    ``benchmarks/test_optimizer_gain.py`` (program-optimizer row-sweep
-   and makespan savings), and ``benchmarks/test_planner_gain.py``
-   (cost-based auto-planner vs the static configuration grid) through
+   and makespan savings), ``benchmarks/test_planner_gain.py``
+   (cost-based auto-planner vs the static configuration grid), and
+   ``benchmarks/test_serving_throughput.py`` (multi-worker pool
+   throughput, modelled worker scaling, warm-start latency) through
    pytest, collecting their JSON payloads;
 2. gates on the recorded floors — the PR 1-5 floors (vectorized backend
    speedup, hierarchy gain, per-level monotonicity, hierarchy-figure
@@ -19,15 +21,18 @@ CI's ``perf-track`` job calls this script.  It
    speedup, optimizer sweep/makespan reduction), the PR 6 floor
    (compiled-tier speedup over the interpreted vectorized path on every
    serving workload), the PR 7 ceiling (static verification must
-   cost less than 5% of unverified serving wall-clock), and the PR 8
+   cost less than 5% of unverified serving wall-clock), the PR 8
    floors (the auto-planned makespan within 5% of the best static
    configuration on every family, beating the naive default on most,
-   with exact predicted-vs-measured makespans) — exiting
+   with exact predicted-vs-measured makespans), and the PR 9 floors
+   (pool requests/sec, modelled >= 2x device-throughput scaling at 4
+   workers, warm-started first request within 2x of hot and the cold
+   first request at least 10x the warm one) — exiting
    non-zero on a regression so future PRs cannot silently lose the fast
    paths;
-3. writes the combined record to ``BENCH_pr8.json``, including the
+3. writes the combined record to ``BENCH_pr9.json``, including the
    cross-PR wall-clock trajectory (carried forward from
-   ``BENCH_pr7.json`` when present — a missing or unreadable prior file
+   ``BENCH_pr8.json`` when present — a missing or unreadable prior file
    is warned about, not fatal), which CI uploads as an artifact.
 
 Run locally with:  python benchmarks/perf_track.py
@@ -46,16 +51,19 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCHMARKS = Path(__file__).resolve().parent
-PR = 8
+PR = 9
 
 
-def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, dict, dict, float]:
+def run_benchmarks(
+    workdir: Path,
+) -> tuple[dict, dict, dict, dict, dict, dict, float]:
     """Run the benchmark files, returning their payloads and wall time."""
     backend_json = workdir / "backend_speed.json"
     hierarchy_json = workdir / "hierarchy_scaling.json"
     scheduler_json = workdir / "scheduler_speed.json"
     optimizer_json = workdir / "optimizer_gain.json"
     planner_json = workdir / "planner_gain.json"
+    serving_json = workdir / "serving_throughput.json"
     env = dict(
         os.environ,
         BACKEND_SPEED_JSON=str(backend_json),
@@ -63,6 +71,7 @@ def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, dict, dict, float]:
         SCHEDULER_SPEED_JSON=str(scheduler_json),
         OPTIMIZER_GAIN_JSON=str(optimizer_json),
         PLANNER_GAIN_JSON=str(planner_json),
+        SERVING_THROUGHPUT_JSON=str(serving_json),
     )
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
@@ -79,6 +88,7 @@ def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, dict, dict, float]:
             str(BENCHMARKS / "test_scheduler_speed.py"),
             str(BENCHMARKS / "test_optimizer_gain.py"),
             str(BENCHMARKS / "test_planner_gain.py"),
+            str(BENCHMARKS / "test_serving_throughput.py"),
             "-q",
         ],
         env=env,
@@ -95,6 +105,7 @@ def run_benchmarks(workdir: Path) -> tuple[dict, dict, dict, dict, dict, float]:
         json.loads(scheduler_json.read_text()),
         json.loads(optimizer_json.read_text()),
         json.loads(planner_json.read_text()),
+        json.loads(serving_json.read_text()),
         wall_s,
     )
 
@@ -105,6 +116,7 @@ def gate(
     scheduler: dict,
     optimizer: dict,
     planner: dict,
+    serving: dict,
 ) -> list[str]:
     """Return regression messages (empty when every floor holds)."""
     failures = []
@@ -198,6 +210,38 @@ def gate(
             f"planner predicted-vs-measured error "
             f"{planner['max_prediction_error']} (must be exact)"
         )
+    sustained = serving.get("sustained", {})
+    throughput_floor = sustained.get("min_requests_per_sec", 150.0)
+    if sustained and sustained["requests_per_sec"] < throughput_floor:
+        failures.append(
+            f"pool throughput {sustained['requests_per_sec']:.0f} req/s "
+            f"fell below the asserted floor {throughput_floor:.0f} req/s"
+        )
+    if sustained and not sustained.get("bit_identical", False):
+        failures.append(
+            "pooled serving results diverged from single-process execution"
+        )
+    scaling = serving.get("scaling", {})
+    scaling_floor = scaling.get("min_modelled_scaling_4w", 2.0)
+    if scaling and scaling["modelled_scaling_4w"] < scaling_floor:
+        failures.append(
+            f"modelled 4-worker scaling {scaling['modelled_scaling_4w']:.2f}x "
+            f"fell below the asserted floor {scaling_floor}x"
+        )
+    warm = serving.get("warm_start", {})
+    if warm:
+        warm_ceiling = warm.get("max_warm_vs_hot", 2.0)
+        if warm["warm_vs_hot"] > warm_ceiling:
+            failures.append(
+                f"warm-started first request is {warm['warm_vs_hot']:.2f}x "
+                f"the hot request (allowed {warm_ceiling}x)"
+            )
+        cold_floor = warm.get("min_cold_vs_warm", 10.0)
+        if warm["cold_vs_warm"] < cold_floor:
+            failures.append(
+                f"cold first request is only {warm['cold_vs_warm']:.1f}x the "
+                f"warm-started one (expected >= {cold_floor}x)"
+            )
     return failures
 
 
@@ -206,6 +250,7 @@ def trajectory(
     hierarchy: dict,
     optimizer: dict,
     planner: dict,
+    serving: dict,
     wall_s: float,
 ) -> list[dict]:
     """The cross-PR wall-clock record, carried forward from the last file."""
@@ -256,6 +301,18 @@ def trajectory(
             "planner_families_beating_default": planner[
                 "families_beating_default"
             ],
+            "serving_requests_per_sec": serving.get("sustained", {}).get(
+                "requests_per_sec"
+            ),
+            "serving_modelled_scaling_4w": serving.get("scaling", {}).get(
+                "modelled_scaling_4w"
+            ),
+            "serving_warm_vs_hot": serving.get("warm_start", {}).get(
+                "warm_vs_hot"
+            ),
+            "serving_cold_vs_warm": serving.get("warm_start", {}).get(
+                "cold_vs_warm"
+            ),
         }
     )
     return points
@@ -272,10 +329,16 @@ def main() -> None:
     arguments = parser.parse_args()
 
     with tempfile.TemporaryDirectory() as tmp:
-        backend, hierarchy, scheduler, optimizer, planner, wall_s = run_benchmarks(
-            Path(tmp)
-        )
-    failures = gate(backend, hierarchy, scheduler, optimizer, planner)
+        (
+            backend,
+            hierarchy,
+            scheduler,
+            optimizer,
+            planner,
+            serving,
+            wall_s,
+        ) = run_benchmarks(Path(tmp))
+    failures = gate(backend, hierarchy, scheduler, optimizer, planner, serving)
 
     record = {
         "pr": PR,
@@ -285,8 +348,11 @@ def main() -> None:
         "scheduler_speed": scheduler,
         "optimizer_gain": optimizer,
         "planner_gain": planner,
+        "serving_throughput": serving,
         "dispatch_fusion": hierarchy.get("dispatch_fusion", {}),
-        "trajectory": trajectory(backend, hierarchy, optimizer, planner, wall_s),
+        "trajectory": trajectory(
+            backend, hierarchy, optimizer, planner, serving, wall_s
+        ),
         "regressions": failures,
     }
     arguments.output.write_text(json.dumps(record, indent=2) + "\n")
@@ -333,6 +399,21 @@ def main() -> None:
         f"(floor {planner.get('min_families_beating_default', 4)}); "
         f"prediction error {planner['max_prediction_error']}"
     )
+    sustained = serving.get("sustained", {})
+    scaling = serving.get("scaling", {})
+    warm = serving.get("warm_start", {})
+    if sustained:
+        print(
+            f"pool throughput {sustained['requests_per_sec']:.0f} req/s "
+            f"(floor {sustained.get('min_requests_per_sec', 150.0):.0f}); "
+            f"modelled 4-worker scaling "
+            f"{scaling.get('modelled_scaling_4w', float('nan')):.2f}x "
+            f"(floor {scaling.get('min_modelled_scaling_4w', 2.0)}x); "
+            f"warm first {warm.get('warm_vs_hot', float('nan')):.2f}x hot "
+            f"(ceiling {warm.get('max_warm_vs_hot', 2.0)}x); "
+            f"cold {warm.get('cold_vs_warm', float('nan')):.0f}x warm "
+            f"(floor {warm.get('min_cold_vs_warm', 10.0)}x)"
+        )
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

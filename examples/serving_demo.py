@@ -28,6 +28,7 @@ from repro.api import PlutoSession
 from repro.api.luts import binarize_lut, color_grade_lut
 from repro.core import PlutoConfig, PlutoEngine
 from repro.errors import ServiceOverloadError
+from repro.plan import ExecutionPlan
 from repro.utils.units import format_time
 
 ELEMENTS = 4096
@@ -102,6 +103,12 @@ async def serve_mixed_traffic() -> None:
             f"{slowest.turnaround_s * 1e3:.2f} ms turnaround in a "
             f"batch of {slowest.batch_size}"
         )
+        for name, quantiles in stats.summary()["latency"].items():
+            print(
+                f"  {name:>10}: p50 {quantiles['p50_s'] * 1e3:.3f} ms  "
+                f"p95 {quantiles['p95_s'] * 1e3:.3f} ms  "
+                f"p99 {quantiles['p99_s'] * 1e3:.3f} ms"
+            )
         caches = stats.cache_stats()
         merges = caches["scheduler_merges"]
         print(
@@ -141,7 +148,9 @@ async def serve_hierarchically() -> None:
     engine = PlutoEngine(PlutoConfig(tfaw_fraction=1.0, channels=2, ranks=2))
     image = image_pipeline()
     rng = np.random.default_rng(13)
-    async with image.serve(engine=engine, hierarchical=True) as service:
+    async with image.serve(
+        engine=engine, plan=ExecutionPlan(hierarchical=True)
+    ) as service:
         served = await service.submit({"pixels": rng.integers(0, 256, ELEMENTS)})
         decomposition = served.result.speedup_decomposition
         print(
@@ -160,10 +169,48 @@ async def serve_hierarchically() -> None:
         )
 
 
+def serve_with_worker_pool() -> None:
+    """The multi-worker tier: affinity routing + shared warm-start store."""
+    import tempfile
+
+    from repro.serve import PlutoWorkerPool, fan_out
+
+    rng = np.random.default_rng(29)
+    store_path = tempfile.mkdtemp(prefix="pluto-artifacts-")
+    start = time.perf_counter()
+    with PlutoWorkerPool(workers=2, store_path=store_path) as pool:
+        pool.wait_ready(60.0)
+        fan_out(pool, request_stream(rng), return_outputs=False)
+        wall = time.perf_counter() - start
+        summary = pool.stats.summary()
+        print(
+            f"Worker pool ({pool.workers} workers): "
+            f"{summary['completed']} requests in {wall * 1e3:.0f} ms; "
+            f"per-worker served {summary['per_worker_served']} "
+            "(structure-key affinity)"
+        )
+        end_to_end = summary["latency"]["end_to_end"]
+        print(
+            f"  end-to-end: p50 {end_to_end['p50_s'] * 1e3:.2f} ms  "
+            f"p95 {end_to_end['p95_s'] * 1e3:.2f} ms  "
+            f"p99 {end_to_end['p99_s'] * 1e3:.2f} ms"
+        )
+    # A fresh pool warm-starts from what the first one exported.
+    with PlutoWorkerPool(workers=1, store_path=store_path) as pool:
+        pool.wait_ready(60.0)
+        report = pool.warm_reports[0] or {}
+        print(
+            f"Fresh worker warm-started {report.get('installed', 0)} "
+            f"program(s) from the shared store in "
+            f"{report.get('load_time_s', 0.0) * 1e3:.1f} ms"
+        )
+
+
 def main() -> None:
     asyncio.run(serve_mixed_traffic())
     asyncio.run(demonstrate_backpressure())
     asyncio.run(serve_hierarchically())
+    serve_with_worker_pool()
 
 
 if __name__ == "__main__":

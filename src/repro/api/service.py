@@ -46,12 +46,13 @@ import asyncio
 import time
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from repro.api.session import _LEGACY_UNSET
 from repro.errors import ServiceClosedError, ServiceOverloadError
+from repro.serve.stats import LatencyBreakdown
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.api.session import PlutoSession
@@ -118,6 +119,32 @@ class ServiceStats:
     optimizer_lut_queries_saved: int = 0
     optimizer_swept_rows_saved: int = 0
     optimizer_lut_loads_saved: int = 0
+    #: Streaming latency distributions (queue wait, execute, end-to-end):
+    #: mergeable log-bucketed histograms, so p50/p95/p99 are available at
+    #: any point in the service's life and worker-pool dispatchers can
+    #: fold per-worker stats into pool-wide percentiles.
+    latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+
+    def summary(self) -> dict:
+        """Counters plus p50/p95/p99 latency percentiles (picklable).
+
+        The reporting shape of the serving tier: every counter of this
+        dataclass, with the three latency distributions rendered as
+        :meth:`~repro.serve.stats.LatencyHistogram.summary` snapshots.
+        """
+        return {
+            "served": self.served,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "max_queue_depth": self.max_queue_depth,
+            "mean_queue_wait_s": self.mean_queue_wait_s,
+            "mean_batch_size": self.mean_batch_size,
+            "total_latency_ns": self.total_latency_ns,
+            "optimized": self.optimized,
+            "latency": self.latency.summary(),
+        }
 
     @property
     def mean_queue_wait_s(self) -> float:
@@ -405,6 +432,34 @@ class PlutoService:
         self._note_depth(queue)
         return await request.future
 
+    async def submit_many(
+        self,
+        inputs_list: "Sequence[Mapping[str, np.ndarray]]",
+        *,
+        session: "PlutoSession | None" = None,
+        plan: "ExecutionPlan | str | None" = None,
+    ) -> "list[ServedResult]":
+        """Queue a bulk of requests and await every result, in order.
+
+        The bulk client helper: submissions enter the queue together, so
+        consecutive same-structure requests coalesce into fused batches,
+        and the bounded queue's backpressure applies exactly as for
+        :meth:`submit`.  The first failed request re-raises its error
+        after every submission has settled (no request is abandoned
+        mid-queue).
+        """
+        results = await asyncio.gather(
+            *(
+                self.submit(inputs, session=session, plan=plan)
+                for inputs in inputs_list
+            ),
+            return_exceptions=True,
+        )
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        return results  # type: ignore[return-value]
+
     def submit_nowait(
         self,
         inputs: Mapping[str, np.ndarray],
@@ -669,6 +724,7 @@ class PlutoService:
         self.stats.total_queue_wait_s += served.queue_wait_s
         self.stats.total_execute_s += served.execute_s
         self.stats.total_latency_ns += served.latency_ns
+        self.stats.latency.observe_result(served)
         report = request.optimization
         if request.optimized and report is not None:
             self.stats.optimized += 1

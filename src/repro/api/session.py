@@ -51,6 +51,7 @@ __all__ = [
     "program_structure_key",
     "compile_cached",
     "compile_cached_with_key",
+    "seed_program_cache",
     "clear_program_cache",
     "clear_all_caches",
     "program_cache_size",
@@ -122,6 +123,15 @@ def compile_cached(calls: Sequence[ApiCall]) -> "CompiledProgram":
     return compile_cached_with_key(calls)[0]
 
 
+def seed_program_cache(key: tuple, compiled: "CompiledProgram") -> None:
+    """Install a compiled program under ``key`` (shared-store warm start).
+
+    The warm-start path of :mod:`repro.serve.store` uses this to make a
+    fresh process's first compile of a known structure a cache hit.
+    """
+    _PROGRAM_CACHE[key] = compiled
+
+
 def clear_program_cache() -> None:
     """Drop every cached compiled program.
 
@@ -159,9 +169,11 @@ def cache_stats() -> dict[str, dict]:
     from repro.opt.compose import compose_cache_stats
     from repro.opt.pipeline import optimizer_cache_stats
     from repro.plan.planner import planner_cache_stats
+    from repro.serve.store import shared_store_stats
 
     return {
         "programs": {"size": program_cache_size()},
+        "shared_store": shared_store_stats(),
         "verifier": verifier_cache_stats(),
         "optimizer": optimizer_cache_stats(),
         "planner": planner_cache_stats(),
@@ -195,8 +207,10 @@ def clear_all_caches() -> None:
     from repro.opt.compose import clear_compose_cache
     from repro.opt.pipeline import clear_optimizer_cache
     from repro.plan.planner import clear_planner_cache
+    from repro.serve.store import reset_shared_store_stats
 
     clear_program_cache()
+    reset_shared_store_stats()
     clear_verifier_cache()
     clear_optimizer_cache()
     clear_planner_cache()

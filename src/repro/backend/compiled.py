@@ -49,6 +49,7 @@ __all__ = [
     "CompiledExecutable",
     "compile_program",
     "compiled_exec_cached",
+    "seed_compiled_exec",
     "compiled_exec_stats",
     "clear_compiled_programs",
 ]
@@ -547,6 +548,29 @@ def compiled_exec_cached(
     except TypeError:
         _COMPILED_MEMO.note_uncached()
         return None
+    if cached is not None:
+        return None if cached is _UNSUPPORTED else cached  # type: ignore[return-value]
+    try:
+        executable = _lower(compiled)
+    except Exception:
+        _COMPILED_MEMO.put(structure_key, _UNSUPPORTED)
+        return None
+    _COMPILED_MEMO.put(structure_key, executable)
+    return executable
+
+
+def seed_compiled_exec(
+    compiled: CompiledProgram, *, structure_key: tuple
+) -> CompiledExecutable | None:
+    """Pre-build and install the executable without miss accounting.
+
+    Warm-start installation regenerates closures from stored compile
+    products; counting that regeneration as a cache miss would make a
+    fully warm process look cold.  Returns the installed executable (or
+    ``None`` when the structure cannot take the compiled tier — the
+    unsupported verdict is cached all the same).
+    """
+    cached = _COMPILED_MEMO.peek(structure_key)
     if cached is not None:
         return None if cached is _UNSUPPORTED else cached  # type: ignore[return-value]
     try:

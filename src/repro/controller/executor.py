@@ -53,6 +53,7 @@ __all__ = [
     "ExecutionResult",
     "PlutoController",
     "TraceTemplate",
+    "seed_trace_template",
     "trace_template_stats",
     "clear_trace_templates",
 ]
@@ -96,6 +97,17 @@ class TraceTemplate:
 
 #: (program structure key, engine config) -> TraceTemplate.
 _TEMPLATE_MEMO: BoundedMemo[TraceTemplate] = BoundedMemo(1024)
+
+
+def seed_trace_template(
+    structure_key: tuple, config, template: TraceTemplate
+) -> None:
+    """Install a template under ``(structure key, engine config)``.
+
+    Used by the shared artifact store (:mod:`repro.serve.store`) so a
+    fresh process's first fused dispatch of a known shape hits the memo.
+    """
+    _TEMPLATE_MEMO.put((structure_key, config), template)
 
 
 def trace_template_stats() -> dict[str, int]:

@@ -77,3 +77,7 @@ class ServiceOverloadError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """A request was submitted to a service that is not running."""
+
+
+class WorkerCrashedError(ServiceError):
+    """A worker process of the serving pool died with requests in flight."""

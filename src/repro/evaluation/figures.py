@@ -42,6 +42,8 @@ __all__ = [
     "figure_execution_tiers",
     "figure_hierarchy_scaling",
     "figure_optimizer_gains",
+    "figure_static_verification",
+    "figure_worker_scaling",
 ]
 
 
@@ -812,6 +814,64 @@ def figure_execution_tiers(
                 "interpreted_vs_functional": (
                     latencies["functional"] / latencies["interpreted"]
                 ),
+            }
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Worker scaling — the multi-worker serving tier under mixed traffic
+# --------------------------------------------------------------------- #
+def figure_worker_scaling(
+    elements: int = 256,
+    per_family: int = 32,
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+) -> FigureResult:
+    """Sustained mixed-structure traffic through the worker pool.
+
+    All six registry families stream through a
+    :class:`~repro.serve.pool.PlutoWorkerPool` at each worker count.
+    Each row records the wall clock, the aggregate requests/sec, the
+    structure-affinity router's family placement, and the *modelled*
+    scaling — summed per-worker busy time over the busiest worker —
+    which is deterministic and therefore meaningful even on the
+    single-core machines where wall clock cannot improve.
+    ``benchmarks/test_serving_throughput.py`` gates the floors.
+    """
+    import time
+
+    from repro.serve import PlutoWorkerPool, fan_out
+    from repro.workloads.programs import optimizer_workload_programs
+
+    families = optimizer_workload_programs(elements, 0)
+    jobs = [
+        (family.session, family.inputs)
+        for _ in range(per_family)
+        for family in families
+    ]
+    result = FigureResult(
+        name="Worker scaling",
+        description=(
+            f"Mixed traffic over {len(families)} program families "
+            "through the multi-worker serving tier"
+        ),
+    )
+    for workers in worker_counts:
+        with PlutoWorkerPool(workers=workers, chunk_size=32) as pool:
+            if not pool.wait_ready(120.0):
+                raise RuntimeError("worker pool failed to come up")
+            start = time.perf_counter()
+            served = fan_out(pool, jobs, return_outputs=False)
+            wall_s = time.perf_counter() - start
+        busy_ns = pool.stats.per_worker_busy_ns
+        result.rows.append(
+            {
+                "workers": workers,
+                "requests": len(served),
+                "wall_clock_s": wall_s,
+                "requests_per_sec": len(served) / wall_s,
+                "modelled_scaling": sum(busy_ns) / max(busy_ns),
+                "programs_per_worker": list(pool._programs_per_worker),
             }
         )
     return result

@@ -43,6 +43,8 @@ __all__ = [
     "PlannerReport",
     "PlannedExecution",
     "plan_program",
+    "plan_memo_key",
+    "seed_planner_cache",
     "cost_priors",
     "reset_cost_priors",
     "planner_cache_stats",
@@ -185,6 +187,35 @@ class PlannedExecution:
 #: -> PlannedExecution.  A hit returns the chosen plan with zero
 #: analytic-model calls.
 _PLAN_MEMO: BoundedMemo[PlannedExecution] = BoundedMemo(512)
+
+
+def plan_memo_key(
+    structure_key: tuple,
+    config: object,
+    modes: tuple[str, ...],
+    supports_batched: bool,
+    request: ExecutionPlan,
+) -> tuple:
+    """The chosen-plan memo identity for one planning query.
+
+    Exported so the shared artifact store (:mod:`repro.serve.store`) can
+    seed the memo with decisions a previous process already paid for;
+    :func:`plan_program` builds its keys through this same function, so
+    the two can never drift apart.
+    """
+    return (
+        structure_key,
+        config,
+        tuple(modes),
+        supports_batched,
+        request.optimize,
+        request.tier,
+    )
+
+
+def seed_planner_cache(memo_key: tuple, planned: PlannedExecution) -> None:
+    """Install a chosen plan under its memo key (shared-store warm start)."""
+    _PLAN_MEMO.put(memo_key, planned)
 
 
 def planner_cache_stats() -> dict[str, int]:
@@ -544,13 +575,12 @@ def plan_program(
     structure_key = hashable_structure_key(calls)
     memo_key: tuple | None = None
     if structure_key is not None:
-        memo_key = (
+        memo_key = plan_memo_key(
             structure_key,
             engine.config,
             tuple(modes),
             supports_batched,
-            request.optimize,
-            request.tier,
+            request,
         )
         cached = _PLAN_MEMO.get(memo_key)
         if cached is not None:

@@ -1,0 +1,45 @@
+"""The multi-worker serving tier.
+
+Layered above :class:`~repro.api.service.PlutoService`:
+
+* :mod:`repro.serve.stats` — streaming mergeable latency histograms
+  (p50/p95/p99 for queue wait, execution, end-to-end);
+* :mod:`repro.serve.store` — the persistent shared warm-artifact store
+  (compile products keyed on program structure, versioned invalidation,
+  instant worker warm start);
+* :mod:`repro.serve.pool` — the dispatcher + N worker processes with
+  structure-key-affinity routing, admission control, and graceful drain;
+* :mod:`repro.serve.client` — synchronous bulk fan-out helpers.
+"""
+
+from repro.serve.client import fan_out, map_parallel
+from repro.serve.pool import PlutoWorkerPool, PoolStats, WorkerResult
+from repro.serve.stats import LatencyBreakdown, LatencyHistogram
+from repro.serve.store import (
+    ARTIFACT_SCHEMA_VERSION,
+    SharedArtifactStore,
+    WarmArtifacts,
+    WarmStartReport,
+    collect_artifacts,
+    install_artifacts,
+    reset_shared_store_stats,
+    shared_store_stats,
+)
+
+__all__ = [
+    "LatencyHistogram",
+    "LatencyBreakdown",
+    "SharedArtifactStore",
+    "WarmArtifacts",
+    "WarmStartReport",
+    "ARTIFACT_SCHEMA_VERSION",
+    "collect_artifacts",
+    "install_artifacts",
+    "shared_store_stats",
+    "reset_shared_store_stats",
+    "PlutoWorkerPool",
+    "PoolStats",
+    "WorkerResult",
+    "map_parallel",
+    "fan_out",
+]

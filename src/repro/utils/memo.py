@@ -49,6 +49,14 @@ class BoundedMemo(Generic[Value]):
             self.hits += 1
         return value
 
+    def peek(self, key: Hashable) -> Value | None:
+        """The cached value without touching the hit/miss counters.
+
+        For cache *seeding* paths (warm-start installation), which must
+        not make a pre-warmed process look like it served cold misses.
+        """
+        return self._entries.get(key)
+
     def put(self, key: Hashable, value: Value) -> None:
         """Store ``value``, evicting the oldest entry at the size bound."""
         if len(self._entries) >= self.limit and key not in self._entries:

@@ -231,6 +231,7 @@ class TestCacheStatsSurface:
         stats = PlutoSession.cache_stats()
         assert set(stats) == {
             "programs",
+            "shared_store",
             "optimizer",
             "lut_compositions",
             "trace_templates",

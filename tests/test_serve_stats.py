@@ -1,0 +1,70 @@
+"""Tests for the streaming latency histograms (serve/stats.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.stats import LatencyBreakdown, LatencyHistogram
+
+
+class TestLatencyHistogram:
+    def test_quantiles_track_numpy_within_bucket_error(self):
+        rng = np.random.default_rng(3)
+        samples = rng.lognormal(mean=-6.0, sigma=1.5, size=5000)
+        histogram = LatencyHistogram()
+        for sample in samples:
+            histogram.record(float(sample))
+        for q in (0.5, 0.95, 0.99):
+            exact = float(np.quantile(samples, q))
+            estimate = histogram.quantile(q)
+            # log-bucketed with growth 1.07 -> a few percent of error
+            assert estimate == pytest.approx(exact, rel=0.08)
+        assert histogram.count == 5000
+        assert histogram.mean_s == pytest.approx(float(samples.mean()))
+        assert histogram.quantile(1.0) == pytest.approx(float(samples.max()))
+
+    def test_empty_and_degenerate_histograms(self):
+        histogram = LatencyHistogram()
+        assert histogram.quantile(0.5) == 0.0
+        histogram.record(0.0)  # clamps to the floor bucket
+        assert histogram.count == 1
+        assert histogram.quantile(0.5) >= 0.0
+        with pytest.raises(ConfigurationError):
+            histogram.quantile(1.5)
+
+    def test_merge_is_the_sum_of_the_parts(self):
+        left, right = LatencyHistogram(), LatencyHistogram()
+        for value in (0.001, 0.002, 0.004):
+            left.record(value)
+        for value in (0.008, 0.016):
+            right.record(value)
+        left.merge(right)
+        assert left.count == 5
+        assert left.max_s == pytest.approx(0.016)
+        assert left.total_s == pytest.approx(0.031)
+
+    def test_summary_shape(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.010)
+        summary = histogram.summary()
+        assert set(summary) == {
+            "count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s"
+        }
+
+
+class TestLatencyBreakdown:
+    def test_observe_and_merge(self):
+        first, second = LatencyBreakdown(), LatencyBreakdown()
+        first.observe(queue_wait_s=0.001, execute_s=0.002)
+        second.observe(
+            queue_wait_s=0.003, execute_s=0.004, end_to_end_s=0.009
+        )
+        first.merge(second)
+        summary = first.summary()
+        assert summary["queue_wait"]["count"] == 2
+        assert summary["execute"]["count"] == 2
+        # end_to_end defaults to queue wait + execute when not given
+        assert summary["end_to_end"]["count"] == 2
+        assert summary["end_to_end"]["max_s"] == pytest.approx(0.009)

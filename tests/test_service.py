@@ -306,6 +306,63 @@ class TestServing:
         with pytest.raises(ConfigurationError):
             PlutoService(session, max_batch=-1)
 
+    def test_streaming_percentiles_cover_every_request(self):
+        async def main():
+            session = _add_program()
+            rng = np.random.default_rng(61)
+            async with session.serve(max_queue=16, max_batch=4) as service:
+                await asyncio.gather(
+                    *(service.submit(_add_inputs(rng)) for _ in range(12))
+                )
+            summary = service.stats.summary()
+            assert summary["served"] == 12
+            latency = summary["latency"]
+            for name in ("queue_wait", "execute", "end_to_end"):
+                quantiles = latency[name]
+                assert quantiles["count"] == 12
+                assert (
+                    0.0
+                    <= quantiles["p50_s"]
+                    <= quantiles["p95_s"]
+                    <= quantiles["p99_s"]
+                    <= quantiles["max_s"]
+                )
+            assert latency["end_to_end"]["mean_s"] >= (
+                latency["execute"]["mean_s"]
+            )
+
+        asyncio.run(main())
+
+    def test_submit_many_preserves_order_and_outputs(self):
+        async def main():
+            session = _add_program()
+            rng = np.random.default_rng(67)
+            requests = [_add_inputs(rng) for _ in range(6)]
+            async with session.serve(max_queue=16, max_batch=4) as service:
+                results = await service.submit_many(requests)
+            assert [served.request_id for served in results] == list(range(6))
+            for inputs, served in zip(requests, results):
+                assert np.array_equal(
+                    served.outputs["out"], inputs["a"] + inputs["b"]
+                )
+
+        asyncio.run(main())
+
+    def test_submit_many_surfaces_the_first_failure(self):
+        async def main():
+            session = _add_program()
+            rng = np.random.default_rng(71)
+            bad = {"a": rng.integers(0, 16, 8)}  # wrong size, missing b
+            async with session.serve(max_queue=16, max_batch=4) as service:
+                with pytest.raises(Exception):
+                    await service.submit_many(
+                        [_add_inputs(rng), bad, _add_inputs(rng)]
+                    )
+                # the good batch mates still served
+                assert service.stats.served == 2
+
+        asyncio.run(main())
+
 
 def _chain_program() -> PlutoSession:
     """A fusible two-query LUT chain (the optimizer halves its sweeps)."""

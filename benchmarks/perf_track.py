@@ -1,4 +1,4 @@
-"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr9.json``.
+"""Perf-tracking gate: run the speed benchmarks and emit ``BENCH_pr10.json``.
 
 CI's ``perf-track`` job calls this script.  It
 
@@ -13,7 +13,9 @@ CI's ``perf-track`` job calls this script.  It
    and makespan savings), ``benchmarks/test_planner_gain.py``
    (cost-based auto-planner vs the static configuration grid), and
    ``benchmarks/test_serving_throughput.py`` (multi-worker pool
-   throughput, modelled worker scaling, warm-start latency) through
+   throughput, modelled worker scaling, warm-start latency), and
+   ``benchmarks/test_obs_overhead.py`` (tracing-on vs tracing-off
+   serving wall-clock and energy-accounting determinism) through
    pytest, collecting their JSON payloads;
 2. gates on the recorded floors — the PR 1-5 floors (vectorized backend
    speedup, hierarchy gain, per-level monotonicity, hierarchy-figure
@@ -27,12 +29,15 @@ CI's ``perf-track`` job calls this script.  It
    with exact predicted-vs-measured makespans), and the PR 9 floors
    (pool requests/sec, modelled >= 2x device-throughput scaling at 4
    workers, warm-started first request within 2x of hot and the cold
-   first request at least 10x the warm one) — exiting
+   first request at least 10x the warm one), and the PR 10 gates
+   (tracing-enabled serving within 5% of tracing-disabled, and
+   bit-identical per-request energy attribution across repeated
+   serves) — exiting
    non-zero on a regression so future PRs cannot silently lose the fast
    paths;
-3. writes the combined record to ``BENCH_pr9.json``, including the
+3. writes the combined record to ``BENCH_pr10.json``, including the
    cross-PR wall-clock trajectory (carried forward from
-   ``BENCH_pr8.json`` when present — a missing or unreadable prior file
+   ``BENCH_pr9.json`` when present — a missing or unreadable prior file
    is warned about, not fatal), which CI uploads as an artifact.
 
 Run locally with:  python benchmarks/perf_track.py
@@ -51,12 +56,12 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCHMARKS = Path(__file__).resolve().parent
-PR = 9
+PR = 10
 
 
 def run_benchmarks(
     workdir: Path,
-) -> tuple[dict, dict, dict, dict, dict, dict, float]:
+) -> tuple[dict, dict, dict, dict, dict, dict, dict, float]:
     """Run the benchmark files, returning their payloads and wall time."""
     backend_json = workdir / "backend_speed.json"
     hierarchy_json = workdir / "hierarchy_scaling.json"
@@ -64,6 +69,7 @@ def run_benchmarks(
     optimizer_json = workdir / "optimizer_gain.json"
     planner_json = workdir / "planner_gain.json"
     serving_json = workdir / "serving_throughput.json"
+    obs_json = workdir / "obs_overhead.json"
     env = dict(
         os.environ,
         BACKEND_SPEED_JSON=str(backend_json),
@@ -72,6 +78,7 @@ def run_benchmarks(
         OPTIMIZER_GAIN_JSON=str(optimizer_json),
         PLANNER_GAIN_JSON=str(planner_json),
         SERVING_THROUGHPUT_JSON=str(serving_json),
+        OBS_OVERHEAD_JSON=str(obs_json),
     )
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
@@ -89,6 +96,7 @@ def run_benchmarks(
             str(BENCHMARKS / "test_optimizer_gain.py"),
             str(BENCHMARKS / "test_planner_gain.py"),
             str(BENCHMARKS / "test_serving_throughput.py"),
+            str(BENCHMARKS / "test_obs_overhead.py"),
             "-q",
         ],
         env=env,
@@ -106,6 +114,7 @@ def run_benchmarks(
         json.loads(optimizer_json.read_text()),
         json.loads(planner_json.read_text()),
         json.loads(serving_json.read_text()),
+        json.loads(obs_json.read_text()),
         wall_s,
     )
 
@@ -117,6 +126,7 @@ def gate(
     optimizer: dict,
     planner: dict,
     serving: dict,
+    obs: dict,
 ) -> list[str]:
     """Return regression messages (empty when every floor holds)."""
     failures = []
@@ -242,6 +252,19 @@ def gate(
                 f"cold first request is only {warm['cold_vs_warm']:.1f}x the "
                 f"warm-started one (expected >= {cold_floor}x)"
             )
+    tracing = obs.get("tracing", {})
+    if tracing:
+        tracing_ceiling = tracing.get("max_overhead", 0.05)
+        if tracing["overhead"] > tracing_ceiling:
+            failures.append(
+                f"tracing costs {100 * tracing['overhead']:.1f}% over "
+                f"untraced serving (allowed {100 * tracing_ceiling:.0f}%)"
+            )
+    energy = obs.get("energy_determinism", {})
+    if energy and not energy.get("deterministic", False):
+        failures.append(
+            "per-request energy attribution varied across identical serves"
+        )
     return failures
 
 
@@ -251,6 +274,7 @@ def trajectory(
     optimizer: dict,
     planner: dict,
     serving: dict,
+    obs: dict,
     wall_s: float,
 ) -> list[dict]:
     """The cross-PR wall-clock record, carried forward from the last file."""
@@ -313,6 +337,8 @@ def trajectory(
             "serving_cold_vs_warm": serving.get("warm_start", {}).get(
                 "cold_vs_warm"
             ),
+            "tracing_overhead": obs.get("tracing", {}).get("overhead"),
+            "energy_pj_per_request": obs.get("energy_determinism", {}).get("energy_pj"),
         }
     )
     return points
@@ -336,9 +362,10 @@ def main() -> None:
             optimizer,
             planner,
             serving,
+            obs,
             wall_s,
         ) = run_benchmarks(Path(tmp))
-    failures = gate(backend, hierarchy, scheduler, optimizer, planner, serving)
+    failures = gate(backend, hierarchy, scheduler, optimizer, planner, serving, obs)
 
     record = {
         "pr": PR,
@@ -349,9 +376,10 @@ def main() -> None:
         "optimizer_gain": optimizer,
         "planner_gain": planner,
         "serving_throughput": serving,
+        "obs_overhead": obs,
         "dispatch_fusion": hierarchy.get("dispatch_fusion", {}),
         "trajectory": trajectory(
-            backend, hierarchy, optimizer, planner, serving, wall_s
+            backend, hierarchy, optimizer, planner, serving, obs, wall_s
         ),
         "regressions": failures,
     }
@@ -413,6 +441,16 @@ def main() -> None:
             f"(ceiling {warm.get('max_warm_vs_hot', 2.0)}x); "
             f"cold {warm.get('cold_vs_warm', float('nan')):.0f}x warm "
             f"(floor {warm.get('min_cold_vs_warm', 10.0)}x)"
+        )
+    tracing = obs.get("tracing", {})
+    energy = obs.get("energy_determinism", {})
+    if tracing:
+        print(
+            f"tracing overhead {100 * tracing['overhead']:+.1f}% "
+            f"(ceiling +{100 * tracing.get('max_overhead', 0.05):.0f}%); "
+            f"energy {energy.get('energy_pj', float('nan')):.0f} pJ/request "
+            f"over {energy.get('dram_commands', '?')} DRAM commands "
+            f"(deterministic={energy.get('deterministic')})"
         )
     if failures:
         for failure in failures:

@@ -28,6 +28,7 @@ from repro.api import PlutoSession
 from repro.api.luts import binarize_lut, color_grade_lut
 from repro.core import PlutoConfig, PlutoEngine
 from repro.errors import ServiceOverloadError
+from repro.obs import enable_tracing, render_stage_breakdown
 from repro.plan import ExecutionPlan
 from repro.utils.units import format_time
 
@@ -120,6 +121,34 @@ async def serve_mixed_traffic() -> None:
             f"{merges['misses']} misses"
         )
 
+        # The span trees attached to every served request break the
+        # wall-clock down by pipeline stage and attribute the modelled
+        # DRAM energy to each request.
+        traces = [
+            served.request_trace
+            for served in results
+            if served.request_trace is not None
+        ]
+        if traces:
+            print()
+            print(render_stage_breakdown(traces, title="Per-stage latency"))
+            energies = [
+                trace.attributes["energy_pj"]
+                for trace in traces
+                if "energy_pj" in trace.attributes
+            ]
+            commands = [
+                trace.attributes["dram_commands"]
+                for trace in traces
+                if "dram_commands" in trace.attributes
+            ]
+            print(
+                f"Energy per request: mean {np.mean(energies) / 1e3:.1f} nJ "
+                f"(total {np.sum(energies) / 1e6:.2f} uJ over "
+                f"{len(energies)} requests; "
+                f"mean {np.mean(commands):.0f} DRAM commands each)"
+            )
+
 
 async def demonstrate_backpressure() -> None:
     image = image_pipeline()
@@ -207,6 +236,7 @@ def serve_with_worker_pool() -> None:
 
 
 def main() -> None:
+    enable_tracing(True)
     asyncio.run(serve_mixed_traffic())
     asyncio.run(demonstrate_backpressure())
     asyncio.run(serve_hierarchically())

@@ -52,6 +52,15 @@ import numpy as np
 
 from repro.api.session import _LEGACY_UNSET
 from repro.errors import ServiceClosedError, ServiceOverloadError
+from repro.obs.metrics import record_served_request, request_accounting
+from repro.obs.trace import (
+    RequestTrace,
+    Span,
+    activate,
+    deactivate,
+    new_trace,
+    span_of,
+)
 from repro.serve.stats import LatencyBreakdown
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -91,6 +100,9 @@ class ServedResult:
     execution_plan: "ExecutionPlan | None" = None
     #: Planner report when the plan came from ``plan="auto"``.
     planner: "PlannerReport | None" = None
+    #: Span tree of this request's trip through the stack
+    #: (``None`` unless :func:`repro.obs.enable_tracing` is on).
+    request_trace: "RequestTrace | None" = None
 
     @property
     def turnaround_s(self) -> float:
@@ -194,6 +206,8 @@ class _PendingRequest:
     plan: "ExecutionPlan | None" = None
     #: Planner report when the service plans automatically.
     planner: "PlannerReport | None" = None
+    #: Request trace collecting per-stage spans (``None`` when tracing is off).
+    trace: "RequestTrace | None" = None
 
     @property
     def backend_key(self) -> object:
@@ -321,6 +335,13 @@ class PlutoService:
         #: facets that shape the executor (tier, placement).
         self._controllers: dict[object, object] = {}
         self._dispatchers: dict[object, object] = {}
+        #: Structure keys this service has already verified: repeat shapes
+        #: skip the per-request verify span (the memoized check itself still
+        #: runs), keeping the traced hot path under the overhead gate.
+        self._verified_keys: set = set()
+        #: Coalesce wall-clock of the batch currently being executed,
+        #: stashed by the worker loop for the coalesce span.
+        self._coalesce_ns = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -534,43 +555,63 @@ class PlutoService:
         request_plan = self._request_plan(plan, optimize)
         calls = list(source.calls)
         planner_report: "PlannerReport | None" = None
-        if request_plan.is_auto:
-            from repro.backend.base import resolve_backend
-            from repro.plan.planner import plan_program
+        trace = new_trace("service", request_id=self._next_id)
+        token = activate(trace)
+        try:
+            with span_of(trace, "submit"):
+                if request_plan.is_auto:
+                    from repro.backend.base import resolve_backend
+                    from repro.plan.planner import plan_program
 
-            planned = plan_program(
-                calls,
-                self.engine,
-                request=request_plan,
-                modes=("single", "banks", "hierarchy"),
-                supports_batched=resolve_backend(
-                    source.backend
-                ).supports_batched,
-                subject="request",
-            )
-            request_plan, planner_report = planned.plan, planned.report
-        optimized = request_plan.optimize
-        if optimized is None:
-            optimized = self.engine is not None and self.engine.config.optimize
-        report = None
-        if optimized:
-            from repro.opt.pipeline import optimize_cached
+                    with span_of(trace, "plan") as plan_span:
+                        planned = plan_program(
+                            calls,
+                            self.engine,
+                            request=request_plan,
+                            modes=("single", "banks", "hierarchy"),
+                            supports_batched=resolve_backend(
+                                source.backend
+                            ).supports_batched,
+                            subject="request",
+                        )
+                        request_plan, planner_report = planned.plan, planned.report
+                        plan_span.set(cached=planner_report.cached)
+                optimized = request_plan.optimize
+                if optimized is None:
+                    optimized = (
+                        self.engine is not None and self.engine.config.optimize
+                    )
+                report = None
+                if optimized:
+                    from repro.opt.pipeline import optimize_cached
 
-            program = optimize_cached(calls)
-            calls = list(program.calls)
-            report = program.report
-        structure_key = self._structure_key(calls)
-        if self.verify:
-            # Reject malformed programs at submission — synchronously,
-            # before the request takes a queue slot — with the structured
-            # diagnostics on the raised VerificationError.  Memoized on
-            # the program structure key (reusing the coalescing key
-            # computed above), so repeat shapes cost a dict hit.
-            from repro.analyze.verifier import verify_cached
+                    with span_of(trace, "optimize"):
+                        program = optimize_cached(calls)
+                        calls = list(program.calls)
+                        report = program.report
+                structure_key = self._structure_key(calls)
+                if self.verify:
+                    # Reject malformed programs at submission —
+                    # synchronously, before the request takes a queue slot
+                    # — with the structured diagnostics on the raised
+                    # VerificationError.  Memoized on the program structure
+                    # key (reusing the coalescing key computed above), so
+                    # repeat shapes cost a dict hit.
+                    from repro.analyze.verifier import verify_cached
 
-            verify_cached(
-                calls, subject="request", key=structure_key
-            ).raise_if_errors()
+                    if structure_key in self._verified_keys:
+                        verify_cached(
+                            calls, subject="request", key=structure_key
+                        ).raise_if_errors()
+                    else:
+                        with span_of(trace, "verify"):
+                            verify_cached(
+                                calls, subject="request", key=structure_key
+                            ).raise_if_errors()
+                        if structure_key is not None:
+                            self._verified_keys.add(structure_key)
+        finally:
+            deactivate(token)
         request = _PendingRequest(
             request_id=self._next_id,
             calls=calls,
@@ -583,6 +624,7 @@ class PlutoService:
             optimization=report,
             plan=request_plan,
             planner=planner_report,
+            trace=trace,
         )
         self._next_id += 1
         return request
@@ -625,7 +667,11 @@ class PlutoService:
                 leader = await queue.get()
             batch = [leader]
             try:
+                coalesce_start = time.perf_counter_ns()
                 self._coalesce_into(batch, queue)
+                # Stashed on the instance (not passed as an argument) so
+                # _execute_batch keeps its original batch-only signature.
+                self._coalesce_ns = time.perf_counter_ns() - coalesce_start
                 self._execute_batch(batch)
             except BaseException as error:
                 # The loop itself failed (per-request execution errors are
@@ -668,7 +714,40 @@ class PlutoService:
                 break
             batch.append(candidate)
 
+    @staticmethod
+    def _note_queue_wait(
+        request: _PendingRequest,
+        queue_wait_s: float,
+        coalesce_ns: int,
+        batch: int,
+        shared_coalesce: "Span | None" = None,
+    ) -> None:
+        """Record the explicit queue-wait span (with its coalesce slice).
+
+        Built directly (one timer read, no scope machinery): this runs per
+        request on the traced hot path, and no span scope is open on the
+        request's own trace here, so the spans attach at the top level.
+        ``shared_coalesce`` lets the fused batch path reuse one coalesce
+        child (identical timing/attributes for every member) across the
+        whole batch — surviving span allocations are what drive extra GC
+        work in traced serving, so batches share where values coincide.
+        """
+        if request.trace is None:
+            return
+        if shared_coalesce is None:
+            now = time.perf_counter_ns()
+            shared_coalesce = Span(
+                "coalesce", now - coalesce_ns, coalesce_ns, {"batch_size": batch}
+            )
+        else:
+            now = shared_coalesce.end_ns
+        wait_ns = int(queue_wait_s * 1e9)
+        wait = Span("queue_wait", now - wait_ns, wait_ns)
+        wait.children = [shared_coalesce]
+        request.trace.spans.append(wait)
+
     def _execute_batch(self, batch: "list[_PendingRequest]") -> None:
+        coalesce_ns = self._coalesce_ns
         self.stats.batches += 1
         self.stats.coalesced += len(batch) - 1
         # Only plain single-bank plans fuse into one batched pass;
@@ -677,17 +756,28 @@ class PlutoService:
         simple = leader_plan is None or (
             not leader_plan.hierarchical and leader_plan.effective_shards == 1
         )
-        if len(batch) > 1 and simple and self._execute_batch_fused(batch):
+        if (
+            len(batch) > 1
+            and simple
+            and self._execute_batch_fused(batch, coalesce_ns)
+        ):
             return
         for request in batch:
             begin = time.monotonic()
+            self._note_queue_wait(
+                request, begin - request.enqueued_at, coalesce_ns, len(batch)
+            )
+            token = activate(request.trace)
             try:
-                result = self._execute(request)
+                with span_of(request.trace, "execute"):
+                    result = self._execute(request)
             except Exception as error:  # surface on the caller's future
                 self.stats.failed += 1
                 if not request.future.cancelled():
                     request.future.set_exception(error)
                 continue
+            finally:
+                deactivate(token)
             finish = time.monotonic()
             served = ServedResult(
                 request_id=request.request_id,
@@ -709,6 +799,7 @@ class PlutoService:
                     if request.planner is not None
                     else None
                 ),
+                request_trace=request.trace,
             )
             self._account_served(request, served)
             if not request.future.cancelled():
@@ -725,6 +816,29 @@ class PlutoService:
         self.stats.total_execute_s += served.execute_s
         self.stats.total_latency_ns += served.latency_ns
         self.stats.latency.observe_result(served)
+        # Per-request hardware attribution: DRAM command counts, energy in
+        # picojoules, and refresh overhead, memoized on the (shared, for
+        # warm JIT requests) command trace so the hot path pays a dict hit.
+        command_trace = getattr(served.result, "trace", None)
+        accounting = (
+            request_accounting(command_trace) if command_trace is not None else None
+        )
+        if served.request_trace is not None and accounting is not None:
+            attributes = served.request_trace.attributes
+            attributes.update(accounting)
+            attributes["latency_ns"] = served.latency_ns
+            attributes["backend"] = served.backend
+            attributes["batch_size"] = served.batch_size
+        record_served_request(
+            path="service",
+            end_to_end_s=served.turnaround_s,
+            queue_wait_s=served.queue_wait_s,
+            execute_s=served.execute_s,
+            energy_nj=served.energy_nj,
+            commands=(
+                accounting["dram_commands_by_type"] if accounting is not None else None
+            ),
+        )
         report = request.optimization
         if request.optimized and report is not None:
             self.stats.optimized += 1
@@ -733,7 +847,9 @@ class PlutoService:
             self.stats.optimizer_swept_rows_saved += report.swept_rows_saved
             self.stats.optimizer_lut_loads_saved += report.lut_loads_saved
 
-    def _execute_batch_fused(self, batch: "list[_PendingRequest]") -> bool:
+    def _execute_batch_fused(
+        self, batch: "list[_PendingRequest]", coalesce_ns: int = 0
+    ) -> bool:
         """Run a coalesced batch in one fused controller pass.
 
         The batch shares one program structure by construction, so the
@@ -759,25 +875,75 @@ class PlutoService:
         # The unified sentinel: ``None`` structure keys (unhashable
         # programs) simply skip the trace-template memo.
         structure_key = batch[0].structure_key
+        leader = batch[0]
         begin = time.monotonic()
+        # The fused pass runs once for the whole batch: the leader's trace
+        # is context-active so inner stages (compile, backend) attach their
+        # spans to it; followers get explicit evenly-attributed spans below.
+        token = activate(leader.trace)
+        fused_span: Span | None = None
         try:
-            compiled = compile_cached(batch[0].calls)
-            stacked = {
-                name: np.stack([request.inputs[name] for request in batch])
-                for name in batch[0].inputs
-            }
-            results = controller.execute_fused(
-                compiled,
-                stacked,
-                banks=[0] * len(batch),
-                structure_key=structure_key,
-            )
+            with span_of(
+                leader.trace, "execute", fused=True, batch_size=len(batch)
+            ) as opened:
+                if isinstance(opened, Span):
+                    fused_span = opened
+                compiled = compile_cached(batch[0].calls)
+                stacked = {
+                    name: np.stack([request.inputs[name] for request in batch])
+                    for name in batch[0].inputs
+                }
+                results = controller.execute_fused(
+                    compiled,
+                    stacked,
+                    banks=[0] * len(batch),
+                    structure_key=structure_key,
+                )
         except Exception:
+            # The per-request fallback loop will record its own execute
+            # span; drop the aborted fused one so stage sums stay honest.
+            if fused_span is not None and leader.trace is not None:
+                if fused_span in leader.trace.spans:
+                    leader.trace.spans.remove(fused_span)
             return False
+        finally:
+            deactivate(token)
         finish = time.monotonic()
         # The pass ran once for everyone: attribute the wall-clock evenly.
         execute_s = (finish - begin) / len(batch)
+        execute_ns = int(execute_s * 1e9)
+        finish_ns = time.perf_counter_ns()
+        if fused_span is not None:
+            # Shrink the leader's span to its even share too, keeping the
+            # full batch wall-clock as an attribute, so every request's
+            # top-level spans sum to its own recorded turnaround.
+            fused_span.set(batch_wall_ns=fused_span.duration_ns)
+            fused_span.duration_ns = execute_ns
+        # Shared across the batch's traces (identical values; treated as
+        # read-only) to keep surviving allocations per traced request low.
+        shared_coalesce: Span | None = None
+        execute_attrs = {"fused": True, "batch_size": len(batch)}
         for request, result in zip(batch, results):
+            if request.trace is not None and shared_coalesce is None:
+                now_ns = time.perf_counter_ns()
+                shared_coalesce = Span(
+                    "coalesce",
+                    now_ns - coalesce_ns,
+                    coalesce_ns,
+                    {"batch_size": len(batch)},
+                )
+            self._note_queue_wait(
+                request,
+                begin - request.enqueued_at,
+                coalesce_ns,
+                len(batch),
+                shared_coalesce,
+            )
+            if request is not leader and request.trace is not None:
+                # Built directly (shared timer read) — per-request hot path.
+                request.trace.spans.append(
+                    Span("execute", finish_ns - execute_ns, execute_ns, execute_attrs)
+                )
             served = ServedResult(
                 request_id=request.request_id,
                 outputs=result.outputs,
@@ -795,6 +961,7 @@ class PlutoService:
                     if request.planner is not None
                     else None
                 ),
+                request_trace=request.trace,
             )
             self._account_served(request, served)
             if not request.future.cancelled():

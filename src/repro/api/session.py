@@ -29,6 +29,7 @@ from repro.api.handles import ApiCall, PlutoVector
 from repro.api.luts import BITWISE_OPERATIONS, add_lut, bitwise_lut, multiply_lut
 from repro.core.lut import LookupTable
 from repro.errors import ConfigurationError, ReproError, VerificationError
+from repro.obs.trace import activate, deactivate, new_trace, span_of, stage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.analyze.diagnostics import VerificationReport
@@ -39,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.controller.executor import ExecutionResult
     from repro.controller.hierarchy import HierarchicalExecutionResult
     from repro.core.engine import PlutoEngine
+    from repro.obs.trace import RequestTrace
     from repro.opt.pipeline import OptimizedProgram
     from repro.opt.report import OptimizationReport
     from repro.plan.execution_plan import ExecutionPlan
@@ -168,10 +170,11 @@ def cache_stats() -> dict[str, dict]:
     from repro.dram.analytic import merge_cache_stats
     from repro.opt.compose import compose_cache_stats
     from repro.opt.pipeline import optimizer_cache_stats
+    from repro.obs.metrics import record_cache_stats
     from repro.plan.planner import planner_cache_stats
     from repro.serve.store import shared_store_stats
 
-    return {
+    stats = {
         "programs": {"size": program_cache_size()},
         "shared_store": shared_store_stats(),
         "verifier": verifier_cache_stats(),
@@ -185,6 +188,11 @@ def cache_stats() -> dict[str, dict]:
         "engine_helpers": engine_helper_cache_stats(),
         "lut_gather_arrays": {"size": gather_cache_size()},
     }
+    # Mirror every snapshot into the unified metrics registry
+    # (``pluto_cache_*`` gauges) without changing the dict shape callers
+    # have always consumed.
+    record_cache_stats(stats)
+    return stats
 
 
 def clear_all_caches() -> None:
@@ -243,6 +251,8 @@ class BatchResult:
     execution_plan: "ExecutionPlan | None" = None
     #: The auto-planner's report when the plan came from ``plan="auto"``.
     planner: "PlannerReport | None" = None
+    #: Span tree of the batch run (``None`` unless tracing is enabled).
+    request_trace: "RequestTrace | None" = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -512,7 +522,8 @@ class PlutoSession:
     ) -> "tuple[list[ApiCall], OptimizationReport | None]":
         if not self._resolve_optimize(optimize, engine):
             return list(self.calls), None
-        optimized = self.optimize()
+        with stage("optimize"):
+            optimized = self.optimize()
         return list(optimized.calls), optimized.report
 
     @staticmethod
@@ -541,11 +552,12 @@ class PlutoSession:
             return
         if compiled is not None and compiled.verification_ok:
             return
-        if key is _KEY_UNSET:
-            # No precomputed key: let the verifier build its own.
-            verify_cached(calls).raise_if_errors()
-        else:
-            verify_cached(calls, key=key).raise_if_errors()
+        with stage("verify"):
+            if key is _KEY_UNSET:
+                # No precomputed key: let the verifier build its own.
+                verify_cached(calls).raise_if_errors()
+            else:
+                verify_cached(calls, key=key).raise_if_errors()
         if compiled is not None:
             compiled.verification_ok = True
 
@@ -562,10 +574,12 @@ class PlutoSession:
         nothing (or verification is off).
         """
         structure_key = hashable_structure_key(calls)
+        warm = structure_key is not None and structure_key in _PROGRAM_CACHE
         try:
-            compiled, structure_key = compile_cached_with_key(
-                calls, structure_key
-            )
+            with stage("compile", cached=warm):
+                compiled, structure_key = compile_cached_with_key(
+                    calls, structure_key
+                )
         except ReproError:
             self._verify_for_run(calls, engine, key=structure_key)
             raise
@@ -653,16 +667,18 @@ class PlutoSession:
         if plan.is_auto:
             from repro.plan.planner import plan_program
 
-            planned = plan_program(
-                self.calls,
-                engine,
-                request=plan,
-                modes=modes,
-                supports_batched=resolve_backend(
-                    self.backend
-                ).supports_batched,
-            )
-            plan, planner_report = planned.plan, planned.report
+            with stage("plan") as plan_span:
+                planned = plan_program(
+                    self.calls,
+                    engine,
+                    request=plan,
+                    modes=modes,
+                    supports_batched=resolve_backend(
+                        self.backend
+                    ).supports_batched,
+                )
+                plan, planner_report = planned.plan, planned.report
+                plan_span.set(cached=planner_report.cached)
         calls, report = self._calls_for_run(plan.optimize, engine)
         if plan.hierarchical or plan.effective_shards > 1:
             self._verify_for_run(calls, engine)
@@ -677,6 +693,22 @@ class PlutoSession:
             compiled=compiled,
             structure_key=structure_key,
         )
+
+    @staticmethod
+    def _finish_trace(trace: "RequestTrace | None", result: "ExecutionResult") -> None:
+        """Annotate a run's trace with its hardware attribution and attach it."""
+        if trace is None:
+            return
+        from repro.obs.metrics import request_accounting
+
+        command_trace = getattr(result, "trace", None)
+        if command_trace is not None:
+            trace.annotate(
+                latency_ns=result.latency_ns,
+                backend=result.backend,
+                **request_accounting(command_trace),
+            )
+        result.request_trace = trace
 
     @staticmethod
     def _attach_reports(
@@ -749,33 +781,42 @@ class PlutoSession:
             shards=shards,
             optimize=optimize,
         )
-        prepared = self._prepare_execution(
-            resolved, engine, modes=("single", "banks", "hierarchy")
-        )
-        chosen = prepared.plan
-        jit = chosen.tier != "interpreted"
-        if chosen.hierarchical:
-            from repro.controller.hierarchy import HierarchicalDispatcher
-
-            result = HierarchicalDispatcher(
-                engine,
-                backend=self.backend,
-                jit=jit,
-                channels=chosen.channels,
-                ranks=chosen.ranks,
-            ).execute(prepared.calls, inputs, shards=chosen.shards)
-        elif chosen.effective_shards > 1:
-            from repro.controller.dispatch import ParallelDispatcher
-
-            result = ParallelDispatcher(
-                engine, backend=self.backend, jit=jit
-            ).execute(prepared.calls, inputs, shards=chosen.effective_shards)
-        else:
-            result = self._controller(engine, jit=jit).execute(
-                prepared.compiled,
-                dict(inputs),
-                structure_key=prepared.structure_key,
+        trace = new_trace("session.run")
+        token = activate(trace)
+        try:
+            prepared = self._prepare_execution(
+                resolved, engine, modes=("single", "banks", "hierarchy")
             )
+            chosen = prepared.plan
+            jit = chosen.tier != "interpreted"
+            with span_of(trace, "execute"):
+                if chosen.hierarchical:
+                    from repro.controller.hierarchy import HierarchicalDispatcher
+
+                    result = HierarchicalDispatcher(
+                        engine,
+                        backend=self.backend,
+                        jit=jit,
+                        channels=chosen.channels,
+                        ranks=chosen.ranks,
+                    ).execute(prepared.calls, inputs, shards=chosen.shards)
+                elif chosen.effective_shards > 1:
+                    from repro.controller.dispatch import ParallelDispatcher
+
+                    result = ParallelDispatcher(
+                        engine, backend=self.backend, jit=jit
+                    ).execute(
+                        prepared.calls, inputs, shards=chosen.effective_shards
+                    )
+                else:
+                    result = self._controller(engine, jit=jit).execute(
+                        prepared.compiled,
+                        dict(inputs),
+                        structure_key=prepared.structure_key,
+                    )
+        finally:
+            deactivate(token)
+        self._finish_trace(trace, result)
         return self._attach_reports(result, prepared)
 
     def run_batch(
@@ -805,54 +846,69 @@ class PlutoSession:
         resolved = self._resolve_plan_argument(
             plan, engine, entry="run_batch", hierarchical=False, optimize=optimize
         )
-        prepared = self._prepare_execution(resolved, engine, modes=("single",))
-        chosen = prepared.plan
-        if chosen.hierarchical or chosen.effective_shards > 1:
-            raise ConfigurationError(
-                "run_batch executes each job as one unsharded program; "
-                "sharded/hierarchical plans go through run()"
+        trace = new_trace("session.run_batch")
+        token = activate(trace)
+        try:
+            prepared = self._prepare_execution(resolved, engine, modes=("single",))
+            chosen = prepared.plan
+            if chosen.hierarchical or chosen.effective_shards > 1:
+                raise ConfigurationError(
+                    "run_batch executes each job as one unsharded program; "
+                    "sharded/hierarchical plans go through run()"
+                )
+            compiled, structure_key = prepared.compiled, prepared.structure_key
+            controller = self._controller(
+                engine, jit=chosen.tier != "interpreted"
             )
-        compiled, structure_key = prepared.compiled, prepared.structure_key
-        controller = self._controller(engine, jit=chosen.tier != "interpreted")
-        if not parallel:
-            batch_result = BatchResult(
-                results=[
-                    controller.execute(
-                        compiled, dict(inputs), structure_key=structure_key
-                    )
-                    for inputs in batch
-                ]
-            )
-            return self._attach_batch_reports(batch_result, prepared)
-        from repro.controller.dispatch import merged_makespan_ns
+            if not parallel:
+                with span_of(trace, "execute") as span:
+                    results = [
+                        controller.execute(
+                            compiled, dict(inputs), structure_key=structure_key
+                        )
+                        for inputs in batch
+                    ]
+                    span.set(jobs=len(results))
+                batch_result = BatchResult(results=results, request_trace=trace)
+                return self._attach_batch_reports(batch_result, prepared)
+            from repro.controller.dispatch import merged_makespan_ns
 
-        jobs = list(batch)
-        num_banks = controller.engine.geometry.banks
-        if len(jobs) > num_banks:
-            # Placement clamps to the available banks: jobs beyond the
-            # bank count wrap round-robin and run back to back in their
-            # bank, which the merged makespan reflects.  Warn so callers
-            # expecting one bank per job notice the serialization.
-            warnings.warn(
-                f"run_batch(parallel=True) got {len(jobs)} jobs for a module "
-                f"with {num_banks} banks; jobs wrap round-robin and "
-                "serialize within each bank",
-                stacklevel=2,
-            )
-        results = [
-            controller.execute(
-                compiled,
-                dict(inputs),
-                bank=index % num_banks,
-                structure_key=structure_key,
-            )
-            for index, inputs in enumerate(jobs)
-        ]
-        makespan = merged_makespan_ns(
-            [result.trace.commands for result in results], controller.engine
-        )
+            jobs = list(batch)
+            num_banks = controller.engine.geometry.banks
+            if len(jobs) > num_banks:
+                # Placement clamps to the available banks: jobs beyond the
+                # bank count wrap round-robin and run back to back in their
+                # bank, which the merged makespan reflects.  Warn so callers
+                # expecting one bank per job notice the serialization.
+                warnings.warn(
+                    f"run_batch(parallel=True) got {len(jobs)} jobs for a "
+                    f"module with {num_banks} banks; jobs wrap round-robin "
+                    "and serialize within each bank",
+                    stacklevel=2,
+                )
+            with span_of(trace, "execute") as span:
+                results = [
+                    controller.execute(
+                        compiled,
+                        dict(inputs),
+                        bank=index % num_banks,
+                        structure_key=structure_key,
+                    )
+                    for index, inputs in enumerate(jobs)
+                ]
+                span.set(jobs=len(results), parallel=True)
+            with span_of(trace, "schedule"):
+                makespan = merged_makespan_ns(
+                    [result.trace.commands for result in results],
+                    controller.engine,
+                )
+        finally:
+            deactivate(token)
         return self._attach_batch_reports(
-            BatchResult(results=results, makespan_ns=makespan), prepared
+            BatchResult(
+                results=results, makespan_ns=makespan, request_trace=trace
+            ),
+            prepared,
         )
 
     def run_hierarchical(
@@ -892,20 +948,29 @@ class PlutoSession:
             shards=shards,
             optimize=optimize,
         )
-        prepared = self._prepare_execution(resolved, engine, modes=("hierarchy",))
-        chosen = prepared.plan
-        if not chosen.hierarchical:
-            raise ConfigurationError(
-                "run_hierarchical needs a hierarchical plan; got "
-                f"{chosen.label()!r}"
+        trace = new_trace("session.run_hierarchical")
+        token = activate(trace)
+        try:
+            prepared = self._prepare_execution(
+                resolved, engine, modes=("hierarchy",)
             )
-        result = HierarchicalDispatcher(
-            engine,
-            backend=self.backend,
-            jit=chosen.tier != "interpreted",
-            channels=chosen.channels,
-            ranks=chosen.ranks,
-        ).execute(prepared.calls, inputs, shards=chosen.shards)
+            chosen = prepared.plan
+            if not chosen.hierarchical:
+                raise ConfigurationError(
+                    "run_hierarchical needs a hierarchical plan; got "
+                    f"{chosen.label()!r}"
+                )
+            with span_of(trace, "execute"):
+                result = HierarchicalDispatcher(
+                    engine,
+                    backend=self.backend,
+                    jit=chosen.tier != "interpreted",
+                    channels=chosen.channels,
+                    ranks=chosen.ranks,
+                ).execute(prepared.calls, inputs, shards=chosen.shards)
+        finally:
+            deactivate(token)
+        self._finish_trace(trace, result)
         self._attach_reports(result, prepared)
         return result
 

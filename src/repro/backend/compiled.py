@@ -42,6 +42,7 @@ from repro.isa.instructions import (
     PlutoSubarrayAlloc,
     ShiftDirection,
 )
+from repro.obs.trace import stage
 from repro.utils.bitops import mask_of
 from repro.utils.memo import BoundedMemo
 
@@ -551,7 +552,8 @@ def compiled_exec_cached(
     if cached is not None:
         return None if cached is _UNSUPPORTED else cached  # type: ignore[return-value]
     try:
-        executable = _lower(compiled)
+        with stage("closure_build", instructions=len(compiled.program)):
+            executable = _lower(compiled)
     except Exception:
         _COMPILED_MEMO.put(structure_key, _UNSUPPORTED)
         return None

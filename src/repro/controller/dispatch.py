@@ -46,6 +46,7 @@ from repro.dram.analytic import memoized_merge_makespan_ns
 from repro.dram.commands import Command, CommandTrace
 from repro.dram.scheduler import CommandScheduler
 from repro.errors import ConfigurationError, ExecutionError, VerificationError
+from repro.obs.trace import stage
 
 __all__ = [
     "ShardPlan",
@@ -564,9 +565,10 @@ class ParallelDispatcher:
         )
         for result in shard_results:
             merged_trace.merge(result.trace)
-        makespan = merged_makespan_ns(
-            [result.trace.commands for result in shard_results], self.engine
-        )
+        with stage("schedule", shards=len(shard_results)):
+            makespan = merged_makespan_ns(
+                [result.trace.commands for result in shard_results], self.engine
+            )
         outputs = {
             name: np.concatenate(
                 [result.outputs[name] for result in shard_results]

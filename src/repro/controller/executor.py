@@ -45,6 +45,7 @@ from repro.utils.bitops import mask_of
 from repro.utils.memo import BoundedMemo
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import RequestTrace
     from repro.opt.report import OptimizationReport
     from repro.plan.execution_plan import ExecutionPlan
     from repro.plan.planner import PlannerReport
@@ -86,13 +87,20 @@ class TraceTemplate:
             commands = list(self.commands)
         else:
             commands = [replace(command, bank=bank) for command in self.commands]
-        return CommandTrace(
+        trace = CommandTrace(
             timing=timing,
             energy=energy,
             commands=commands,
             total_latency_ns=self.total_latency_ns,
             total_energy_nj=self.total_energy_nj,
         )
+        # Per-request observability accounting (command counts, energy,
+        # refresh overhead) depends only on the template, not the bank:
+        # link every realization to one shared pin store so
+        # ``repro.obs.metrics`` computes it once per structure, not once
+        # per request (see ``_obs_pins`` handling there).
+        trace.__dict__["_obs_pins"] = self.__dict__
+        return trace
 
 
 #: (program structure key, engine config) -> TraceTemplate.
@@ -140,6 +148,9 @@ class ExecutionResult:
     #: The auto-planner's report when the plan was chosen by
     #: ``plan="auto"`` (predicted vs measured makespan, candidates).
     planner: "PlannerReport | None" = None
+    #: Span tree of the run that produced this result (``None`` unless
+    #: tracing is enabled; see :mod:`repro.obs`).
+    request_trace: "RequestTrace | None" = None
 
     @property
     def latency_ns(self) -> float:

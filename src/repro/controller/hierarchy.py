@@ -60,6 +60,7 @@ from repro.dram.commands import Command, CommandTrace, CommandType
 from repro.dram.geometry import DRAMGeometry
 from repro.dram.scheduler import activation_count
 from repro.errors import ConfigurationError
+from repro.obs.trace import stage
 from repro.utils.memo import BoundedMemo
 
 __all__ = [
@@ -458,13 +459,21 @@ class HierarchicalDispatcher:
         # schedule also yields the per-rank/per-channel breakdown (its
         # placement formula reproduces the planner's, so the breakdown
         # keys match the plans' (channel, rank) positions).
-        bank_only = hierarchical_makespan_ns(streams, engine, channels=1, ranks=1)
-        rank_parallel = hierarchical_makespan_ns(
-            streams, engine, channels=1, ranks=self.ranks
-        )
-        makespan, rank_makespans, channel_makespans = _schedule_hierarchy(
-            streams, engine, channels=self.channels, ranks=self.ranks
-        )
+        with stage(
+            "schedule",
+            shards=len(shard_results),
+            channels=self.channels,
+            ranks=self.ranks,
+        ):
+            bank_only = hierarchical_makespan_ns(
+                streams, engine, channels=1, ranks=1
+            )
+            rank_parallel = hierarchical_makespan_ns(
+                streams, engine, channels=1, ranks=self.ranks
+            )
+            makespan, rank_makespans, channel_makespans = _schedule_hierarchy(
+                streams, engine, channels=self.channels, ranks=self.ranks
+            )
 
         outputs = {
             name: np.concatenate(

@@ -41,6 +41,7 @@ __all__ = [
     "figure_auto_planner",
     "figure_execution_tiers",
     "figure_hierarchy_scaling",
+    "figure_latency_breakdown",
     "figure_optimizer_gains",
     "figure_static_verification",
     "figure_worker_scaling",
@@ -874,4 +875,85 @@ def figure_worker_scaling(
                 "programs_per_worker": list(pool._programs_per_worker),
             }
         )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Latency breakdown — where a served request's wall-clock goes
+# --------------------------------------------------------------------- #
+def figure_latency_breakdown(
+    elements: int = 1024,
+    requests: int = 8,
+) -> FigureResult:
+    """Per-stage latency and energy attribution for every workload family.
+
+    Serves ``requests`` requests of each registry family through the
+    async front door with tracing enabled, then reports the mean
+    per-stage wall-clock (submit / queue wait / execute, from the span
+    trees the observability layer attaches to every served request)
+    next to the modelled hardware attribution: DRAM commands, energy in
+    picojoules, and refresh overhead.  ``benchmarks/test_obs_overhead.py``
+    gates the tracing cost this table relies on staying negligible.
+    """
+    import asyncio
+
+    from repro.obs.export import stage_summary
+    from repro.obs.trace import tracing
+    from repro.workloads.programs import workload_program
+
+    async def _serve(program) -> list:
+        async with program.session.serve(
+            max_queue=max(8, requests)
+        ) as service:
+            return list(
+                await asyncio.gather(
+                    *(
+                        service.submit(dict(program.inputs))
+                        for _ in range(requests)
+                    )
+                )
+            )
+
+    result = FigureResult(
+        name="Latency breakdown",
+        description=(
+            f"Per-stage serving latency and per-request energy of the "
+            f"{elements}-element workload programs"
+        ),
+    )
+    families = ("image", "crc", "salsa20", "vmpc", "bitcount", "vector_ops")
+    with tracing(True):
+        for name in families:
+            program = workload_program(name, elements=elements, seed=0)
+            served = asyncio.run(_serve(program))
+            traces = [
+                item.request_trace
+                for item in served
+                if item.request_trace is not None
+            ]
+            if len(traces) != requests:
+                raise AssertionError(
+                    f"{name}: expected {requests} traced requests, "
+                    f"got {len(traces)}"
+                )
+            stages = stage_summary(traces)
+            attributes = traces[-1].attributes
+            result.rows.append(
+                {
+                    "workload": name,
+                    "elements": elements,
+                    "requests": requests,
+                    "submit_ns": stages.get("submit", {}).get("mean_ns", 0.0),
+                    "queue_wait_ns": stages.get("queue_wait", {}).get(
+                        "mean_ns", 0.0
+                    ),
+                    "execute_ns": stages.get("execute", {}).get("mean_ns", 0.0),
+                    "modelled_latency_ns": float(attributes["latency_ns"]),
+                    "energy_pj": float(attributes["energy_pj"]),
+                    "dram_commands": int(attributes["dram_commands"]),
+                    "refresh_overhead_fraction": float(
+                        attributes["refresh_overhead_fraction"]
+                    ),
+                }
+            )
     return result

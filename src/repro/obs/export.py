@@ -1,0 +1,241 @@
+"""Exposition formats for traces and metrics.
+
+Three consumers are supported:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace_json`) — load the file
+  in Perfetto / ``chrome://tracing`` to see the span tree of one or many
+  requests on a timeline.
+* **Prometheus text exposition** (:func:`prometheus_text`) — scrapeable
+  dump of the process-wide registry; histograms render as summaries with
+  quantile labels.
+* **JSON snapshot** (:func:`metrics_json`) — the registry as one plain
+  JSON object, for ad-hoc tooling and tests.
+
+Plus :func:`render_stage_breakdown`, the human-readable per-stage table
+used by ``python -m repro.obs`` and ``examples/serving_demo.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from repro.obs.trace import RequestTrace, Span
+
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "metrics_json",
+    "prometheus_text",
+    "render_stage_breakdown",
+    "stage_summary",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace-event format
+# --------------------------------------------------------------------------- #
+
+
+def _span_events(
+    span: Span, *, pid: int, tid: int, origin_ns: int, out: list[dict[str, Any]]
+) -> None:
+    event: dict[str, Any] = {
+        "name": span.name,
+        "cat": "pluto",
+        "ph": "X",
+        # The trace-event format measures ts/dur in microseconds.
+        "ts": (span.start_ns - origin_ns) / 1000.0,
+        "dur": span.duration_ns / 1000.0,
+        "pid": pid,
+        "tid": tid,
+    }
+    if span.attributes:
+        event["args"] = _jsonable(span.attributes)
+    out.append(event)
+    for child in span.children:
+        _span_events(child, pid=pid, tid=tid, origin_ns=origin_ns, out=out)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def chrome_trace_events(
+    traces: "RequestTrace | Iterable[RequestTrace]",
+) -> list[dict[str, Any]]:
+    """Convert one or more traces into Chrome trace-event dicts."""
+
+    if isinstance(traces, RequestTrace):
+        traces = [traces]
+    trace_list = list(traces)
+    starts = [
+        span.start_ns for trace in trace_list for span in trace.spans
+    ]
+    origin_ns = min(starts) if starts else 0
+    events: list[dict[str, Any]] = []
+    for tid, trace in enumerate(trace_list):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": trace.name},
+            }
+        )
+        for span in trace.spans:
+            _span_events(span, pid=0, tid=tid, origin_ns=origin_ns, out=events)
+    return events
+
+
+def chrome_trace_json(traces: "RequestTrace | Iterable[RequestTrace]") -> str:
+    """Serialize traces as a Perfetto-loadable trace-event JSON document."""
+
+    return json.dumps({"traceEvents": chrome_trace_events(traces)}, indent=1)
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+
+
+def _render_labels(labels: Sequence[tuple[str, str]], extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def prometheus_text(source: MetricsRegistry | None = None) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+
+    reg = source if source is not None else registry()
+    grouped: dict[str, list[Counter | Gauge | Histogram]] = {}
+    for metric in reg:
+        grouped.setdefault(metric.name, []).append(metric)
+    lines: list[str] = []
+    for name in sorted(grouped):
+        family = grouped[name]
+        first = family[0]
+        kind = (
+            "counter"
+            if isinstance(first, Counter)
+            else "gauge" if isinstance(first, Gauge) else "summary"
+        )
+        help_text = reg.help_for(name) or first.help
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for metric in family:
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(
+                    f"{name}{_render_labels(metric.labels)} {_format(metric.value)}"
+                )
+            else:
+                for quantile in (0.5, 0.95, 0.99):
+                    value = metric.quantile(quantile)
+                    extra = f'quantile="{quantile}"'
+                    lines.append(
+                        f"{name}{_render_labels(metric.labels, extra)} {_format(value)}"
+                    )
+                lines.append(
+                    f"{name}_sum{_render_labels(metric.labels)} {_format(metric.total)}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(metric.labels)} {metric.count}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _format(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+# --------------------------------------------------------------------------- #
+# JSON snapshot
+# --------------------------------------------------------------------------- #
+
+
+def metrics_json(source: MetricsRegistry | None = None, *, indent: int = 2) -> str:
+    """The whole registry as one JSON document."""
+
+    reg = source if source is not None else registry()
+    return json.dumps(reg.snapshot(), indent=indent, sort_keys=True)
+
+
+# --------------------------------------------------------------------------- #
+# Human-readable per-stage breakdown
+# --------------------------------------------------------------------------- #
+
+
+def stage_summary(
+    traces: "RequestTrace | Iterable[RequestTrace]",
+) -> dict[str, dict[str, float]]:
+    """Aggregate per-stage totals across traces.
+
+    Returns ``{stage: {"total_ns", "mean_ns", "count"}}`` over the
+    *top-level* spans of each trace (nested detail stays in the span tree;
+    top-level durations are the ones that sum to the end-to-end latency).
+    """
+
+    if isinstance(traces, RequestTrace):
+        traces = [traces]
+    totals: dict[str, dict[str, float]] = {}
+    for trace in traces:
+        for span in trace.spans:
+            row = totals.setdefault(span.name, {"total_ns": 0.0, "count": 0.0})
+            row["total_ns"] += span.duration_ns
+            row["count"] += 1
+    for row in totals.values():
+        row["mean_ns"] = row["total_ns"] / row["count"] if row["count"] else 0.0
+    return totals
+
+
+def render_stage_breakdown(
+    traces: "RequestTrace | Iterable[RequestTrace]", *, title: str = "stage breakdown"
+) -> str:
+    """Format a per-stage latency table for terminal output."""
+
+    summary = stage_summary(traces)
+    grand_total = sum(row["total_ns"] for row in summary.values()) or 1.0
+    width = max([len(name) for name in summary] + [len("stage")])
+    lines = [
+        title,
+        f"  {'stage'.ljust(width)}  {'mean':>12}  {'total':>12}  {'share':>6}",
+    ]
+    for name, row in sorted(
+        summary.items(), key=lambda item: item[1]["total_ns"], reverse=True
+    ):
+        lines.append(
+            f"  {name.ljust(width)}  {_fmt_ns(row['mean_ns']):>12}  "
+            f"{_fmt_ns(row['total_ns']):>12}  {row['total_ns'] / grand_total:>6.1%}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt_ns(value_ns: float) -> str:
+    if value_ns >= 1e9:
+        return f"{value_ns / 1e9:.2f} s"
+    if value_ns >= 1e6:
+        return f"{value_ns / 1e6:.2f} ms"
+    if value_ns >= 1e3:
+        return f"{value_ns / 1e3:.2f} us"
+    return f"{value_ns:.0f} ns"

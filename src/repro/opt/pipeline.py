@@ -30,6 +30,7 @@ from repro.opt.passes import (
     LutDeduplicationPass,
     OptimizationPass,
 )
+from repro.obs.trace import stage
 from repro.opt.report import OptimizationReport, program_metrics
 from repro.utils.memo import BoundedMemo
 
@@ -132,7 +133,8 @@ class PassManager:
             rounds += 1
             round_changed = False
             for optimization_pass in self.passes:
-                work, stats = optimization_pass.run(work, preserved)
+                with stage(f"opt:{optimization_pass.name}", round=rounds):
+                    work, stats = optimization_pass.run(work, preserved)
                 if stats.changed:
                     trail.append(stats)
                     round_changed = True

@@ -43,6 +43,7 @@ from repro.errors import (
     ServiceOverloadError,
     WorkerCrashedError,
 )
+from repro.obs.trace import new_trace, tracing_enabled
 from repro.serve.stats import LatencyBreakdown
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from repro.api.session import PlutoSession
     from repro.core.engine import PlutoConfig
+    from repro.obs.trace import RequestTrace
     from repro.plan.execution_plan import ExecutionPlan
 
 __all__ = ["PlutoWorkerPool", "WorkerResult", "PoolStats"]
@@ -76,6 +78,9 @@ class WorkerResult:
     execute_s: float
     batch_size: int
     backend: str
+    #: Worker-side span tree (when tracing was enabled at pool creation);
+    #: the dispatcher grafts it into a pool-level trace on resolution.
+    request_trace: "RequestTrace | None" = None
 
 
 @dataclass
@@ -149,6 +154,7 @@ def _worker_main(
     max_queue: int,
     max_batch: int,
     verify: bool,
+    tracing: bool,
     store_path: str | None,
     inbox: "multiprocessing.Queue",
     results: "multiprocessing.Queue",
@@ -166,7 +172,11 @@ def _worker_main(
     from repro.api.service import PlutoService
     from repro.api.session import PlutoSession, cache_stats
     from repro.core.engine import PlutoEngine
+    from repro.obs.trace import enable_tracing
 
+    # Inherit the dispatcher's tracing state: spawn-started workers do not
+    # share the parent's module globals, so the flag rides the arg list.
+    enable_tracing(tracing)
     engine = PlutoEngine(config) if config is not None else None
     warm_report = None
     store = None
@@ -217,6 +227,7 @@ def _worker_main(
                     execute_s=item.execute_s,
                     batch_size=item.batch_size,
                     backend=item.backend,
+                    request_trace=item.request_trace,
                 )
             )
         return entries
@@ -381,6 +392,7 @@ class PlutoWorkerPool:
                     max_queue,
                     max_batch,
                     verify,
+                    tracing_enabled(),
                     store_path,
                     inbox,
                     self._results,
@@ -657,13 +669,62 @@ class PlutoWorkerPool:
             self.stats.completed += 1
             self.stats.per_worker_served[worker_id] += 1
             self.stats.per_worker_busy_ns[worker_id] += entry.latency_ns
+            end_to_end_s = now - started
             self.stats.latency.observe(
                 queue_wait_s=entry.queue_wait_s,
                 execute_s=entry.execute_s,
-                end_to_end_s=now - started,
+                end_to_end_s=end_to_end_s,
             )
+            self._account_entry(entry, worker_id, end_to_end_s)
             if not future.done():
                 future.set_result(entry)
+
+    def _account_entry(
+        self, entry: WorkerResult, worker_id: int, end_to_end_s: float
+    ) -> None:
+        """Graft the worker-side trace into a pool-level trace and record
+        the request in the process-wide metrics registry.
+
+        The pool trace gets two top-level spans that sum to the observed
+        end-to-end latency: ``pool_rpc`` (dispatcher-side time the worker
+        could not see — routing, IPC, queueing in the collector) and a
+        ``worker`` wrapper holding the grafted worker-side span tree.
+        """
+        from repro.obs.metrics import record_served_request
+
+        worker_trace = entry.request_trace
+        pool_trace = new_trace("pool")
+        if pool_trace is not None and worker_trace is not None:
+            end_ns = time.perf_counter_ns()
+            total_ns = max(int(end_to_end_s * 1e9), worker_trace.total_ns)
+            pool_trace.add_span(
+                "pool_rpc",
+                total_ns - worker_trace.total_ns,
+                start_ns=end_ns - total_ns,
+                worker=worker_id,
+            )
+            pool_trace.graft(
+                worker_trace,
+                under="worker",
+                start_ns=end_ns - worker_trace.total_ns,
+                worker=worker_id,
+            )
+            pool_trace.annotate(**worker_trace.attributes)
+            pool_trace.annotate(worker=worker_id)
+            entry.request_trace = pool_trace
+        commands = None
+        if worker_trace is not None:
+            by_type = worker_trace.attributes.get("dram_commands_by_type")
+            if isinstance(by_type, Mapping):
+                commands = by_type
+        record_served_request(
+            path="pool",
+            end_to_end_s=end_to_end_s,
+            queue_wait_s=entry.queue_wait_s,
+            execute_s=entry.execute_s,
+            energy_nj=entry.energy_nj,
+            commands=commands,
+        )
 
     def _check_workers(self) -> None:
         """Fail the in-flight work of any worker that died unexpectedly."""

@@ -19,6 +19,7 @@ from repro.evaluation.figures import (
     figure12_scalability,
     figure13_tfaw_sensitivity,
     figure14_salp_scaling,
+    figure_latency_breakdown,
     figure_static_verification,
 )
 from repro.evaluation.harness import EvaluationHarness, default_pluto_configs
@@ -192,6 +193,32 @@ class TestStaticVerification:
         assert all(row["errors"] == 0 == row["warnings"] for row in result.rows)
         assert len(stages) == len(result.rows)  # one row per (family, stage)
         assert {stage for _, stage in stages} == {"recorded", "optimized"}
+
+
+class TestLatencyBreakdown:
+    def test_six_families_with_stages_and_energy(self):
+        """One row per workload family; every row carries positive stage
+        durations and a positive energy attribution (the EXPERIMENTS.md
+        latency-breakdown table)."""
+        result = figure_latency_breakdown(elements=256, requests=2)
+        assert [row["workload"] for row in result.rows] == [
+            "image", "crc", "salsa20", "vmpc", "bitcount", "vector_ops",
+        ]
+        for row in result.rows:
+            assert row["submit_ns"] > 0.0
+            assert row["execute_ns"] > 0.0
+            assert row["queue_wait_ns"] >= 0.0
+            assert row["modelled_latency_ns"] > 0.0
+            assert row["energy_pj"] > 0.0
+            assert row["dram_commands"] > 0
+            assert 0.0 <= row["refresh_overhead_fraction"] < 1.0
+
+    def test_tracing_state_is_restored(self):
+        from repro.obs.trace import tracing_enabled
+
+        before = tracing_enabled()
+        figure_latency_breakdown(elements=256, requests=1)
+        assert tracing_enabled() == before
 
 
 class TestFigure14:
